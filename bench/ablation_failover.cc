@@ -1,0 +1,120 @@
+// §4.2 ablation: failover timelines.
+//
+//   * coordinator crash -> staged election -> takeover -> service resumes;
+//   * k simultaneous crashes among the top of the list (increasing
+//     timeouts: the i-th server claims only after (i+1)*t of silence);
+//   * service disruption seen by a client that keeps multicasting through
+//     the crash.
+#include <iostream>
+#include <memory>
+
+#include "bench/scenario.h"
+
+using namespace corona;
+using namespace corona::bench;
+
+namespace {
+
+constexpr GroupId kGroup{1};
+constexpr ObjectId kObject{1};
+
+struct FailoverResult {
+  double election_ms = 0;    // crash -> new coordinator in office
+  double disruption_ms = 0;  // longest gap between deliveries at a client
+  bool recovered = false;
+};
+
+// Coordinator + `leaves` leaf servers; crash the coordinator and the first
+// `extra_crashes` leaves simultaneously at t=4s while a client multicasts
+// every 100 ms through a surviving leaf.
+FailoverResult run_failover(std::size_t leaves, std::size_t extra_crashes) {
+  SimRuntime rt;
+  rt.network().set_shared_bandwidth(0);
+
+  std::vector<NodeId> ids;
+  for (std::size_t i = 0; i <= leaves; ++i) ids.push_back(NodeId{1 + i});
+  ReplicaConfig rcfg;
+  std::vector<std::unique_ptr<ReplicaServer>> servers;
+  for (std::size_t i = 0; i <= leaves; ++i) {
+    servers.push_back(std::make_unique<ReplicaServer>(rcfg, ids));
+    rt.add_node(ids[i], servers[i].get(),
+                rt.network().add_host(HostProfile::ultrasparc()));
+  }
+
+  // The client lives on the last leaf (it survives every crash pattern).
+  FailoverResult out;
+  TimePoint last_delivery = 0;
+  Duration max_gap = 0;
+  CoronaClient::Callbacks cb;
+  cb.on_deliver = [&](GroupId, const UpdateRecord&) {
+    if (last_delivery != 0) {
+      max_gap = std::max(max_gap, rt.now() - last_delivery);
+    }
+    last_delivery = rt.now();
+  };
+  CoronaClient client(ids[leaves], cb);
+  rt.add_node(NodeId{100}, &client,
+              rt.network().add_host(HostProfile::sparc20()));
+
+  rt.start();
+  rt.run_for(300 * kMillisecond);
+  client.create_group(kGroup, "g", true);
+  rt.run_for(300 * kMillisecond);
+  client.join(kGroup);
+  rt.run_for(300 * kMillisecond);
+
+  // Steady multicast cadence.
+  for (int i = 0; i < 200; ++i) {
+    rt.sim().queue().schedule_after(
+        static_cast<Duration>(i) * 100 * kMillisecond,
+        [&client] { client.bcast_update(kGroup, kObject, filler_bytes(200)); });
+  }
+
+  rt.run_for(4 * kSecond);
+  const TimePoint crash_at = rt.now();
+  for (std::size_t i = 0; i <= extra_crashes; ++i) {
+    rt.crash(ids[i]);  // coordinator + the first extra_crashes leaves
+  }
+  // Run until a new coordinator is in office or we give up.
+  TimePoint elected_at = 0;
+  const TimePoint deadline = rt.now() + 60 * kSecond;
+  while (elected_at == 0 && rt.now() < deadline) {
+    rt.run_for(100 * kMillisecond);
+    for (std::size_t i = extra_crashes + 1; i <= leaves; ++i) {
+      if (servers[i]->is_coordinator()) {
+        elected_at = rt.now();
+        break;
+      }
+    }
+  }
+  rt.run_for(22 * kSecond);  // drain the remaining cadence
+
+  out.election_ms = elected_at > 0 ? to_ms(elected_at - crash_at) : -1;
+  out.disruption_ms = to_ms(max_gap);
+  out.recovered = elected_at > 0 && last_delivery > elected_at;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_banner("Ablation — failover: elections under k simultaneous crashes",
+               "§4.2 staged-timeout election + takeover");
+
+  TextTable table({"crashed servers", "new coordinator after ms",
+                   "max delivery gap ms", "service recovered"});
+  for (std::size_t k : {0u, 1u, 2u}) {
+    const auto r = run_failover(/*leaves=*/4, /*extra_crashes=*/k);
+    table.add_row({"coordinator + " + std::to_string(k) + " leaves",
+                   TextTable::fmt(r.election_ms),
+                   TextTable::fmt(r.disruption_ms),
+                   r.recovered ? "yes" : "NO"});
+  }
+  std::cout << table.to_string();
+  std::cout << "\nShape: election time grows roughly linearly with the number\n"
+               "of dead list-heads — the staged (i+1)*t suspicion delays of\n"
+               "§4.2 ('a system made up by k+1 servers can tolerate k\n"
+               "simultaneous crashes by using increasing timeouts') — and\n"
+               "the surviving side resumes multicast service afterwards.\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+// §3.2 ablation: state-log reduction.  "The history of state updates for a
+// group may be trimmed up to a point and replaced with the consistent group
+// state existing at that point."
+//
+// Compares server-side retained history (records + bytes) and last-n join
+// latency with reduction disabled vs a windowed policy, under a long run of
+// incremental updates.
+#include <iostream>
+
+#include "bench/scenario.h"
+
+using namespace corona;
+using namespace corona::bench;
+
+int main() {
+  print_banner("Ablation — log reduction vs server memory and join cost",
+               "§3.2 state log reduction service");
+
+  TextTable table({"history K", "policy", "retained records", "retained KB",
+                   "last-20 join ms"});
+  for (std::size_t k : {1000u, 4000u}) {
+    for (bool reduce : {false, true}) {
+      JoinCostConfig cfg;
+      cfg.history_updates = k;
+      cfg.update_bytes = 200;
+      cfg.policy = TransferPolicySpec::last_n_updates(20);
+      if (reduce) {
+        cfg.reduction = [] { return make_window(100); };
+      }
+      const auto r = run_join_cost(cfg);
+      table.add_row({std::to_string(k),
+                     reduce ? "window(100)" : "none",
+                     std::to_string(r.server_history_records),
+                     TextTable::fmt(r.server_log_bytes / 1000.0),
+                     TextTable::fmt(r.join_ms)});
+    }
+  }
+  std::cout << table.to_string();
+  std::cout << "\nShape: without reduction the retained history grows without\n"
+               "bound; the windowed policy caps it near 2x the window while\n"
+               "still serving last-n joins — 'the new state is equivalent\n"
+               "with the initial state plus the history of state updates'\n"
+               "(§3.2), as the tests verify by replay.\n";
+  return 0;
+}

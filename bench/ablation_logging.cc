@@ -1,0 +1,75 @@
+// §6 ablation: "State logging ... is not in the critical path as far as
+// communication latency is concerned; the service can multicast data to a
+// group in parallel with disk logging" and "State logging could limit the
+// throughput due to disk I/O (typical disk transfer rate is around 3-5
+// Mbytes/sec).  But techniques such as RAID, log-structured file systems or
+// main-memory logging with power backup could be used."
+//
+// Latency side: the Figure 3 workload (small fan-out so the disk term is
+// visible) under four logging configurations.  Throughput side: the byte
+// rate the log device itself can absorb, the bound the paper warns about.
+#include <iostream>
+
+#include "bench/scenario.h"
+
+using namespace corona;
+using namespace corona::bench;
+
+namespace {
+
+double roundtrip_ms(FlushPolicy flush) {
+  RoundTripConfig cfg;
+  cfg.clients = 5;  // small group: fan-out no longer hides the device
+  cfg.messages = 300;
+  cfg.message_bytes = 1000;
+  cfg.flush = flush;
+  return run_single_server_roundtrip(cfg).round_trip_ms.mean();
+}
+
+}  // namespace
+
+int main() {
+  print_banner("Ablation — logging policy vs multicast latency",
+               "§6 'logging is off the critical path' claims");
+
+  const double none = roundtrip_ms(FlushPolicy::kNone);
+  const double async = roundtrip_ms(FlushPolicy::kAsync);
+  const double sync = roundtrip_ms(FlushPolicy::kSync);
+
+  TextTable table({"logging policy", "round-trip ms", "vs no-logging"});
+  table.add_row({"none (memory only)", TextTable::fmt(none, 2), "1.00x"});
+  table.add_row({"async flush (paper design)", TextTable::fmt(async, 2),
+                 TextTable::fmt(async / none, 2) + "x"});
+  table.add_row({"sync flush, 4 MB/s disk", TextTable::fmt(sync, 2),
+                 TextTable::fmt(sync / none, 2) + "x"});
+  std::cout << table.to_string();
+  std::cout << "\nShape: async logging is indistinguishable from no logging\n"
+               "(the paper's design point); synchronous flushing pays the\n"
+               "device seek+transfer on every multicast's critical path.\n";
+
+  // Throughput bound: bytes/s the log device absorbs for 1000-byte records
+  // batched at the async flush cadence (10 records per 100 ms flush).
+  std::cout << "\n--- log-device throughput bound (§6) ---\n";
+  TextTable disk({"device", "KB/s absorbed (1 KB records, batched)"});
+  for (auto [name, profile] :
+       {std::pair{"3-5 MB/s disk (paper's typical)",
+                  DiskProfile::nineties_disk()},
+        std::pair{"RAID / log-structured (paper's mitigation)",
+                  DiskProfile::fast_raid()}}) {
+    SimDisk dev(profile);
+    // Saturate: issue 10 KB batches back to back for 10 virtual seconds.
+    TimePoint t = 0;
+    std::uint64_t bytes = 0;
+    while (t < 10 * kSecond) {
+      t = dev.write(10000, t);
+      bytes += 10000;
+    }
+    disk.add_row({name, TextTable::fmt(double(bytes) / 1000.0 / to_sec(t))});
+  }
+  std::cout << disk.to_string();
+  std::cout << "\nShape: the 1990s device absorbs a few MB/s — above the\n"
+               "~600 KB/s the service generates (Table 1), so logging can\n"
+               "run in parallel without throttling multicast; RAID lifts\n"
+               "the bound by an order of magnitude (§6).\n";
+  return 0;
+}

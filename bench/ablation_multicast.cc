@@ -1,0 +1,43 @@
+// §4 / §5.3 ablation: point-to-point fan-out vs the IP-multicast extension.
+//
+// "If the users are widely distributed over different networks, bandwidth is
+// wasted for sending the same data multiple times over the same network
+// segments.  The latter problem is eliminated if IP-multicast is used for
+// communication between a server and its clients." (§4) — and §5.3 reports a
+// hybrid version.  This bench quantifies the trade: with one-to-many
+// delivery the server pays one send and the wire carries one copy, so the
+// round-trip curve flattens and the wire load drops by the group size.
+#include <iostream>
+
+#include "bench/scenario.h"
+
+using namespace corona;
+using namespace corona::bench;
+
+int main() {
+  print_banner("Ablation — point-to-point vs IP-multicast fan-out",
+               "§4 bandwidth argument + §5.3 hybrid transport");
+
+  TextTable table({"clients", "p2p ms", "ip-mcast ms", "speedup"});
+  for (int n : {10, 20, 40, 60, 100}) {
+    RoundTripConfig cfg;
+    cfg.clients = static_cast<std::size_t>(n);
+    cfg.messages = 300;
+    cfg.self_clocked = true;
+
+    cfg.use_ip_multicast = false;
+    const double p2p = run_single_server_roundtrip(cfg).round_trip_ms.mean();
+    cfg.use_ip_multicast = true;
+    const double mc = run_single_server_roundtrip(cfg).round_trip_ms.mean();
+    table.add_row({std::to_string(n), TextTable::fmt(p2p), TextTable::fmt(mc),
+                   TextTable::fmt(p2p / mc, 2) + "x"});
+  }
+  std::cout << table.to_string();
+  std::cout << "\nShape: the point-to-point curve grows linearly with the\n"
+               "group (the server serializes N sends and the wire carries N\n"
+               "copies) while the IP-multicast curve stays nearly flat — the\n"
+               "reason the paper built the hybrid transport.  Point-to-point\n"
+               "remains the default: awareness, security and ISP support all\n"
+               "favor explicit connections (§4).\n";
+  return 0;
+}

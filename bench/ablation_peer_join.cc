@@ -1,0 +1,102 @@
+// §2 ablation: service-side join (Corona) vs the ISIS-style peer-based join.
+//
+// "In ISIS, the join of a new member involves the execution of a join
+// protocol among all group members, and slow members can slow down the join
+// operation.  Furthermore, in ISIS any state associated with a group must be
+// transferred to the joining client from an existing client, which may
+// occasionally fail.  Thus the time to complete the join reflects the
+// timeout for failure detection and making an additional request to another
+// client."
+//
+// Three configurations, same group (2 members, 500 updates x 200 B):
+//   service      — Corona: the stateful server answers the join (§3.2);
+//   peer         — the donor member supplies the state;
+//   peer + crash — the first donor has silently crashed: the join pays the
+//                  1 s failure-detection timeout before the retry succeeds.
+#include <iostream>
+
+#include "bench/scenario.h"
+
+using namespace corona;
+using namespace corona::bench;
+
+namespace {
+
+const GroupId kG{1};
+const ObjectId kObj{1};
+
+double run_join(JoinTransferMode mode, bool crash_first_donor) {
+  SimRuntime rt;
+  const NodeId server_id{1};
+  GroupStore store;
+  ServerConfig cfg;
+  cfg.join_transfer = mode;
+  cfg.peer_timeout = 1 * kSecond;  // the paper-era failure-detection timeout
+  CoronaServer server(std::move(cfg), &store);
+  rt.add_node(server_id, &server,
+              rt.network().add_host(HostProfile::ultrasparc()));
+
+  CoronaClient donor_a(server_id);
+  CoronaClient donor_b(server_id);
+  rt.add_node(NodeId{100}, &donor_a,
+              rt.network().add_host(HostProfile::sparc20()));
+  rt.add_node(NodeId{101}, &donor_b,
+              rt.network().add_host(HostProfile::sparc20()));
+
+  double join_ms = -1;
+  TimePoint join_sent = 0;
+  CoronaClient::Callbacks cb;
+  cb.on_joined = [&](GroupId, Status s) {
+    if (s.is_ok()) join_ms = to_ms(rt.now() - join_sent);
+  };
+  CoronaClient joiner(server_id, cb);
+  rt.add_node(NodeId{102}, &joiner,
+              rt.network().add_host(HostProfile::sparc20()));
+
+  rt.start();
+  rt.run_for(50 * kMillisecond);
+  donor_a.create_group(kG, "g", true);
+  rt.run_for(50 * kMillisecond);
+  donor_a.join(kG);
+  rt.run_for(50 * kMillisecond);
+  donor_b.join(kG);
+  rt.run_for(200 * kMillisecond);
+  for (int i = 0; i < 500; ++i) {
+    donor_a.bcast_update(kG, kObj, filler_bytes(200));
+    if (i % 50 == 49) rt.run_for(200 * kMillisecond);
+  }
+  rt.run_for(2 * kSecond);
+
+  if (crash_first_donor) rt.crash(NodeId{100});
+  join_sent = rt.now();
+  joiner.join(kG);
+  rt.run_for(20 * kSecond);
+  return join_ms;
+}
+
+}  // namespace
+
+int main() {
+  print_banner("Ablation — service-side join vs ISIS-style peer join",
+               "§2 related-work comparison + §6 join claims");
+
+  const double service = run_join(JoinTransferMode::kService, false);
+  const double peer = run_join(JoinTransferMode::kPeer, false);
+  const double peer_crash = run_join(JoinTransferMode::kPeer, true);
+
+  TextTable table({"join mode", "join latency ms", "vs service"});
+  table.add_row({"service-side (Corona, §3.2)", TextTable::fmt(service),
+                 "1.00x"});
+  table.add_row({"peer transfer, healthy donor", TextTable::fmt(peer),
+                 TextTable::fmt(peer / service, 2) + "x"});
+  table.add_row({"peer transfer, crashed donor", TextTable::fmt(peer_crash),
+                 TextTable::fmt(peer_crash / service, 2) + "x"});
+  std::cout << table.to_string();
+  std::cout << "\nShape: the healthy peer join pays two extra hops through a\n"
+               "slower client machine; the crashed-donor join pays the full\n"
+               "failure-detection timeout before retrying — 'accommodating a\n"
+               "new process to a group may block ... for an unpredictable\n"
+               "amount of time' (§6), which is precisely why Corona keeps\n"
+               "the state at the service.\n";
+  return 0;
+}

@@ -1,0 +1,133 @@
+// §5.3 ablation: the QoS-based adaptive server ("based on priorities and
+// explicit control over the scheduling of different activities and on
+// dynamic adjustment of its policies according to system load").
+//
+// Workload: an interactive group (chat-like, 10 msg/s) shares the server
+// with a bulk group (instrument data, blasting).  Without QoS the
+// interactive traffic queues behind the bulk flood; with QoS the interactive
+// group is priority class 0 and its latency stays near the unloaded value,
+// while under sustained overload the low class is aged/shed.
+#include <iostream>
+#include <map>
+#include <memory>
+
+#include "bench/scenario.h"
+
+using namespace corona;
+using namespace corona::bench;
+
+namespace {
+
+const GroupId kInteractive{1};
+const GroupId kBulk{2};
+const ObjectId kObj{1};
+
+struct QosRunResult {
+  double interactive_ms = 0;
+  double bulk_msgs = 0;
+  std::uint64_t shed = 0;
+};
+
+QosRunResult run(bool enable_qos) {
+  SimRuntime rt;
+  rt.network().set_shared_bandwidth(0);  // isolate server-side scheduling
+  const NodeId server_id{1};
+
+  GroupStore store;
+  ServerConfig cfg;
+  cfg.enable_qos = enable_qos;
+  cfg.qos_service_time = 2 * kMillisecond;  // admission pacing
+  cfg.qos.aging_limit = 32;
+  cfg.qos.shed_threshold = 64;
+  CoronaServer server(std::move(cfg), &store);
+  rt.add_node(server_id, &server,
+              rt.network().add_host(HostProfile::ultrasparc()));
+
+  // Interactive measurer.
+  std::map<RequestId, TimePoint> in_flight;
+  LatencyStats interactive;
+  CoronaClient::Callbacks icb;
+  CoronaClient chat(server_id);
+  icb.on_deliver = [&](GroupId g, const UpdateRecord& rec) {
+    if (!(g == kInteractive)) return;
+    auto it = in_flight.find(rec.request_id);
+    if (it != in_flight.end()) {
+      interactive.add(to_ms(rt.now() - it->second));
+      in_flight.erase(it);
+    }
+  };
+  chat.set_callbacks(icb);
+  rt.add_node(NodeId{100}, &chat,
+              rt.network().add_host(HostProfile::sparc20()));
+
+  // Bulk blasters: three clients flooding 500 B updates at 1 kHz each —
+  // about 3x what the server's fan-out path can absorb.
+  std::vector<std::unique_ptr<CoronaClient>> blasters;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    blasters.push_back(std::make_unique<CoronaClient>(server_id));
+    rt.add_node(NodeId{101 + i}, blasters.back().get(),
+                rt.network().add_host(HostProfile::sparc20()));
+  }
+
+  rt.start();
+  rt.run_for(50 * kMillisecond);
+  chat.create_group(kInteractive, "chat", false);
+  chat.create_group(kBulk, "bulk", false);
+  rt.run_for(50 * kMillisecond);
+  server.set_group_qos_class(kInteractive, 0);
+  server.set_group_qos_class(kBulk, 2);
+  chat.join(kInteractive, TransferPolicySpec::nothing());
+  for (auto& b : blasters) b->join(kBulk, TransferPolicySpec::nothing());
+  rt.run_for(100 * kMillisecond);
+
+  std::uint64_t bulk_delivered0 = server.stats().deliveries_sent;
+  for (int i = 0; i < 3000; ++i) {  // 3 s of 1 kHz flood per blaster
+    rt.sim().queue().schedule_after(
+        static_cast<Duration>(i) * kMillisecond, [&blasters] {
+          for (auto& b : blasters) {
+            b->bcast_update(kBulk, kObj, filler_bytes(500));
+          }
+        });
+  }
+  for (int i = 0; i < 30; ++i) {  // 3 s of 10 Hz interactive chatter
+    rt.sim().queue().schedule_after(
+        static_cast<Duration>(i) * 100 * kMillisecond, [&] {
+          const RequestId rid =
+              chat.bcast_update(kInteractive, kObj, filler_bytes(100));
+          in_flight[rid] = rt.now();
+        });
+  }
+  rt.run_for(10 * kSecond);
+
+  QosRunResult out;
+  out.interactive_ms = interactive.mean();
+  out.bulk_msgs =
+      static_cast<double>(server.stats().deliveries_sent - bulk_delivered0);
+  out.shed = server.stats().qos_shed;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_banner("Ablation — adaptive QoS scheduling under overload",
+               "§5.3 QoS-based adaptive Corona server");
+
+  const QosRunResult off = run(false);
+  const QosRunResult on = run(true);
+
+  TextTable table({"configuration", "interactive round-trip ms",
+                   "bulk deliveries", "shed"});
+  table.add_row({"FIFO (no QoS)", TextTable::fmt(off.interactive_ms),
+                 TextTable::fmt(off.bulk_msgs, 0), "0"});
+  table.add_row({"QoS: chat=class0, bulk=class2",
+                 TextTable::fmt(on.interactive_ms),
+                 TextTable::fmt(on.bulk_msgs, 0), std::to_string(on.shed)});
+  std::cout << table.to_string();
+  std::cout << "\nShape: with priorities the interactive group's latency is "
+            << TextTable::fmt(off.interactive_ms / on.interactive_ms, 1)
+            << "x lower under the same bulk flood; sustained overload is\n"
+               "absorbed by shedding the lowest class (dynamic adjustment\n"
+               "to system load, §5.3).\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// §3.2 ablation: customized state transfer.  "Based on the speed of its
+// connection to the server and application characteristics, the client may
+// request either to receive the whole state of the group or the latest n
+// updates to the state ... or only the state of certain objects."
+//
+// Measures join latency and bytes shipped under each policy as the group's
+// history grows — the quantitative case for per-client transfer policies.
+#include <iostream>
+
+#include "bench/scenario.h"
+
+using namespace corona;
+using namespace corona::bench;
+
+int main() {
+  print_banner("Ablation — state-transfer policy vs join cost",
+               "§3.2 customized state transfer");
+
+  std::cout << "\nGroup history: K updates of 200 B each before the join.\n\n";
+  TextTable table({"history K", "full ms", "full KB", "last-20 ms",
+                   "last-20 KB", "nothing ms"});
+  for (std::size_t k : {100u, 500u, 1000u, 2000u, 4000u}) {
+    JoinCostConfig cfg;
+    cfg.history_updates = k;
+    cfg.update_bytes = 200;
+
+    cfg.policy = TransferPolicySpec::full();
+    const auto full = run_join_cost(cfg);
+    cfg.policy = TransferPolicySpec::last_n_updates(20);
+    const auto last20 = run_join_cost(cfg);
+    cfg.policy = TransferPolicySpec::nothing();
+    const auto nothing = run_join_cost(cfg);
+
+    table.add_row({std::to_string(k), TextTable::fmt(full.join_ms),
+                   TextTable::fmt(full.transfer_bytes / 1000.0),
+                   TextTable::fmt(last20.join_ms),
+                   TextTable::fmt(last20.transfer_bytes / 1000.0),
+                   TextTable::fmt(nothing.join_ms)});
+  }
+  std::cout << table.to_string();
+  std::cout << "\nShape: full-state join cost grows linearly with the group's\n"
+               "accumulated state while last-n stays flat — the slow-link\n"
+               "client's policy of §3.2.  The join never involves existing\n"
+               "members, so none of these block the rest of the group.\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Microbenchmarks (google-benchmark): wire codec throughput.  The paper
+// attributes "a significant part of the cost associated with broadcasting a
+// message" to serialization (§5.2.1); these benches quantify our codec.
+#include <benchmark/benchmark.h>
+
+#include "serial/message.h"
+
+namespace corona {
+namespace {
+
+Message sample_message(std::size_t payload) {
+  UpdateRecord rec;
+  rec.seq = 123456;
+  rec.kind = PayloadKind::kUpdate;
+  rec.object = ObjectId{42};
+  rec.data = filler_bytes(payload);
+  rec.sender = NodeId{100};
+  rec.timestamp = 987654321;
+  rec.request_id = 77;
+  return make_deliver(GroupId{7}, rec);
+}
+
+void BM_MessageEncode(benchmark::State& state) {
+  const Message m = sample_message(static_cast<std::size_t>(state.range(0)));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    Bytes wire = m.encode();
+    bytes += wire.size();
+    benchmark::DoNotOptimize(wire);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_MessageEncode)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_MessageDecode(benchmark::State& state) {
+  const Bytes wire =
+      sample_message(static_cast<std::size_t>(state.range(0))).encode();
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    auto m = Message::decode(wire);
+    bytes += wire.size();
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_MessageDecode)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_UpdateRecordRoundTrip(benchmark::State& state) {
+  UpdateRecord u;
+  u.seq = 9;
+  u.data = filler_bytes(static_cast<std::size_t>(state.range(0)));
+  u.sender = NodeId{5};
+  for (auto _ : state) {
+    auto round = decode_update_record(encode_update_record(u));
+    benchmark::DoNotOptimize(round);
+  }
+}
+BENCHMARK(BM_UpdateRecordRoundTrip)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace corona
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+// Workload builders reproducing the paper's §5.2 evaluation setups on the
+// deterministic simulator.
+//
+// Testbed model (paper): the server runs on an UltraSparc 1 (or a quad
+// Pentium II 200 for Table 1); clients are uniformly distributed over 6
+// (Figure 3 / Table 1) or 12 (Table 2) Sparc-20-class machines; hosts share
+// a 10 Mbps Ethernet with ~300 us propagation latency; the log device is a
+// 4 MB/s disk.
+//
+// Measurement protocol (Figure 3): "all clients but one are just receivers
+// ... The extra client is both a sender and a receiver and it is used to
+// measure the round-trip delay.  This client is the last one (in the group)
+// a broadcast message is sent to, therefore the values measured correspond
+// to the worst case. ... A data point is obtained by averaging over 600
+// successive messages, sent with the rate of a message every 100 msec."
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/client.h"
+#include "core/server.h"
+#include "core/stateless_server.h"
+#include "replica/replica_server.h"
+#include "runtime/sim_runtime.h"
+#include "util/stats.h"
+
+namespace corona::bench {
+
+struct RoundTripConfig {
+  bool stateful = true;            // CoronaServer vs the stateless baseline
+  std::size_t clients = 10;        // receivers + 1 measuring sender
+  std::size_t message_bytes = 1000;
+  std::size_t messages = 600;      // samples per data point
+  Duration send_interval = 100 * kMillisecond;
+  // Self-clocked mode sends the next message only after the previous round
+  // trip completes — used for sizes that saturate the 100 ms cadence.
+  bool self_clocked = false;
+  std::size_t client_machines = 6;
+  HostProfile server_profile = HostProfile::ultrasparc();
+  HostProfile client_profile = HostProfile::sparc20();
+  double shared_bandwidth_bytes_per_sec = 1.25e6;  // 10 Mbps Ethernet
+  FlushPolicy flush = FlushPolicy::kAsync;
+  bool use_ip_multicast = false;  // §5.3 one-to-many delivery extension
+};
+
+struct RoundTripResult {
+  LatencyStats round_trip_ms;
+  std::uint64_t messages_sequenced = 0;
+};
+
+// Figure 3: single server (stateful or stateless), N clients, fixed size.
+RoundTripResult run_single_server_roundtrip(const RoundTripConfig& cfg);
+
+struct ThroughputConfig {
+  HostProfile server_profile = HostProfile::ultrasparc();
+  std::size_t clients = 6;  // paper: "6 clients running on separate machines"
+  std::size_t message_bytes = 1000;
+  std::size_t window = 4;  // in-flight multicasts per client ("as fast as possible")
+  Duration run_time = 30 * kSecond;
+  double shared_bandwidth_bytes_per_sec = 1.25e6;  // 10 Mbps Ethernet
+};
+
+struct ThroughputResult {
+  double aggregate_kbytes_per_sec = 0;  // bytes accepted by the sequencer
+  double delivered_kbytes_per_sec = 0;  // bytes fanned out to receivers
+  double messages_per_sec = 0;
+};
+
+// Table 1: blasting clients, measuring sustained server throughput.
+ThroughputResult run_single_server_throughput(const ThroughputConfig& cfg);
+
+struct ReplicatedConfig {
+  std::size_t servers = 7;  // coordinator + 6 (paper §5.2.3); 1 = single
+  std::size_t clients = 100;
+  std::size_t client_machines = 12;
+  std::size_t message_bytes = 1000;
+  std::size_t messages = 200;
+  bool self_clocked = true;
+  // Table 2's clients sit "in different local networks, situated a few
+  // routers away" — not one shared segment — so the shared-medium model is
+  // disabled and per-pair latency dominates.
+  double shared_bandwidth_bytes_per_sec = 0;
+  Duration inter_server_latency = 200;   // us, servers co-located
+  Duration client_latency = 800;         // us, a few routers away
+};
+
+// Table 2: round-trip delay, single server vs replicated service.
+RoundTripResult run_replicated_roundtrip(const ReplicatedConfig& cfg);
+
+// Join-cost measurement for the state-transfer / log-reduction ablations.
+struct JoinCostConfig {
+  std::size_t history_updates = 1000;   // updates before the join
+  std::size_t update_bytes = 200;
+  TransferPolicySpec policy = TransferPolicySpec::full();
+  std::function<std::unique_ptr<ReductionPolicy>()> reduction;  // optional
+};
+
+struct JoinCostResult {
+  double join_ms = 0;           // request -> state installed at the client
+  std::size_t transfer_bytes = 0;
+  std::size_t server_history_records = 0;
+  std::uint64_t server_log_bytes = 0;
+};
+
+JoinCostResult run_join_cost(const JoinCostConfig& cfg);
+
+// Standard header printed by every bench binary.
+void print_banner(const std::string& title, const std::string& paper_ref);
+
+}  // namespace corona::bench

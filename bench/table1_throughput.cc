@@ -1,0 +1,80 @@
+// Table 1: "Server throughput obtained using multicast messages of size
+// 1000/10000 bytes" on the UltraSparc vs the quad Pentium II 200 (NT), with
+// 6 clients on separate machines multicasting as fast as possible over a
+// 10 Mbps Ethernet.
+//
+// The absolute cells of Table 1 are unreadable in the surviving paper text;
+// the reproduced claims are (a) the NT box sustains visibly more than the
+// UltraSparc, (b) large messages move more bytes/s than small ones, and
+// (c) with enough clients the service sustains ~600 KB/s (§5.2.2) with the
+// wire, not the server code, as the bottleneck.
+#include <iostream>
+
+#include "bench/scenario.h"
+
+using namespace corona;
+using namespace corona::bench;
+
+int main() {
+  print_banner("Table 1 — server throughput (KB/s), 6 blasting clients",
+               "Table 1 + §5.2.2");
+
+  struct Row {
+    const char* name;
+    HostProfile profile;
+  };
+  const Row rows[] = {
+      {"UltraSparc 1 (Solaris)", HostProfile::ultrasparc()},
+      {"quad Pentium II 200 (NT)", HostProfile::pentium_ii_quad()},
+  };
+
+  // "Throughput" is the aggregate byte rate the server pushes to receivers
+  // (the paper's bottleneck was "the network capacity and the inability of
+  // some of the slower clients", not the server code).
+  TextTable table({"server machine", "1000 B KB/s", "10000 B KB/s",
+                   "1000 B msg/s seq'd"});
+  double us_1000 = 0, nt_1000 = 0;
+  for (const Row& row : rows) {
+    ThroughputConfig cfg;
+    cfg.server_profile = row.profile;
+    cfg.message_bytes = 1000;
+    const auto small = run_single_server_throughput(cfg);
+    cfg.message_bytes = 10000;
+    const auto large = run_single_server_throughput(cfg);
+    if (row.profile.send_per_msg_us == HostProfile::ultrasparc().send_per_msg_us) {
+      us_1000 = small.delivered_kbytes_per_sec;
+    } else {
+      nt_1000 = small.delivered_kbytes_per_sec;
+    }
+    table.add_row({row.name,
+                   TextTable::fmt(small.delivered_kbytes_per_sec),
+                   TextTable::fmt(large.delivered_kbytes_per_sec),
+                   TextTable::fmt(small.messages_per_sec)});
+  }
+  std::cout << table.to_string();
+  std::cout << "\nShape: NT/UltraSparc ratio at 1000 B = "
+            << TextTable::fmt(nt_1000 / us_1000, 2)
+            << "x at 1000 B: the UltraSparc is CPU-bound there while the NT\n"
+               "box is wire-bound (paper: NT sustains more; the limitation\n"
+               "was 'in the network capacity', not the server code).\n";
+
+  // §5.2.2: "every time a new client was added, the throughput increased" —
+  // the bottleneck is client feed rate + wire, not the server.
+  std::cout << "\n--- client-count scaling at 1000 B (NT server) ---\n";
+  TextTable scale({"clients", "KB/s"});
+  for (std::size_t n : {2u, 4u, 6u, 10u, 14u}) {
+    ThroughputConfig cfg;
+    cfg.server_profile = HostProfile::pentium_ii_quad();
+    cfg.clients = n;
+    cfg.message_bytes = 1000;
+    const auto r = run_single_server_throughput(cfg);
+    scale.add_row({std::to_string(n),
+                   TextTable::fmt(r.delivered_kbytes_per_sec)});
+  }
+  std::cout << scale.to_string()
+            << "\nShape: throughput rises monotonically with client count\n"
+               "(paper: 'every time a new client was added, the throughput\n"
+               "increased') and plateaus at the wire, the paper's ~600 KB/s\n"
+               "regime scaled by our ideal-Ethernet efficiency.\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Failover demo: the replicated service of paper §4 surviving a coordinator
+// crash in front of your eyes.
+//
+//   * a coordinator and three leaf servers start from the configuration list
+//   * two clients on different leaves collaborate on a shared counter
+//   * the coordinator is crashed mid-session
+//   * the first surviving server in the list claims the coordinatorship
+//     (staged timeouts + half+1 acks, §4.2), pulls the freshest state copy,
+//     and the session continues without the clients reconnecting anywhere
+//
+// Run: ./build/examples/failover_demo
+#include <iostream>
+
+#include "core/client.h"
+#include "replica/replica_server.h"
+#include "runtime/sim_runtime.h"
+
+using namespace corona;
+
+namespace {
+
+const GroupId kG{1};
+const ObjectId kCounter{1};
+
+void show(const char* tag, SimRuntime& rt, const CoronaClient& c) {
+  const SharedState* st = c.group_state(kG);
+  std::cout << "  t=" << to_ms(rt.now()) / 1000 << "s " << tag << ": \""
+            << (st && st->has_object(kCounter)
+                    ? to_string(*st->object(kCounter))
+                    : std::string("<none>"))
+            << "\"\n";
+}
+
+}  // namespace
+
+int main() {
+  SimRuntime rt;
+  const std::vector<NodeId> ids{NodeId{1}, NodeId{2}, NodeId{3}, NodeId{4}};
+  ReplicaConfig cfg;
+  std::vector<std::unique_ptr<ReplicaServer>> servers;
+  for (NodeId id : ids) {
+    servers.push_back(std::make_unique<ReplicaServer>(cfg, ids));
+    rt.add_node(id, servers.back().get(),
+                rt.network().add_host(HostProfile::ultrasparc()));
+  }
+
+  CoronaClient ann(ids[1]);  // leaf 2
+  CoronaClient bob(ids[2]);  // leaf 3
+  rt.add_node(NodeId{100}, &ann, rt.network().add_host(HostProfile{}));
+  rt.add_node(NodeId{101}, &bob, rt.network().add_host(HostProfile{}));
+  rt.start();
+  rt.run_for(500 * kMillisecond);
+
+  std::cout << "1. Coordinator is server " << ids[0].value
+            << "; ann is on leaf 2, bob on leaf 3\n";
+  ann.create_group(kG, "counter", /*persistent=*/true);
+  rt.run_for(500 * kMillisecond);
+  ann.join(kG);
+  bob.join(kG);
+  rt.run_for(500 * kMillisecond);
+
+  std::cout << "2. Collaboration through the coordinator's sequencer\n";
+  ann.bcast_update(kG, kCounter, to_bytes("a1 "));
+  bob.bcast_update(kG, kCounter, to_bytes("b1 "));
+  rt.run_for(500 * kMillisecond);
+  show("ann", rt, ann);
+  show("bob", rt, bob);
+
+  std::cout << "3. The coordinator crashes\n";
+  rt.crash(ids[0]);
+  // Sends during the outage are lost with the coordinator (fail-stop), but
+  // the clients keep them in their resend buffers.
+  ann.bcast_update(kG, kCounter, to_bytes("lost? "));
+  rt.run_for(6 * kSecond);
+
+  const ReplicaServer* new_coord = nullptr;
+  for (std::size_t i = 1; i < servers.size(); ++i) {
+    if (servers[i]->is_coordinator()) new_coord = servers[i].get();
+  }
+  std::cout << "4. Election done: server "
+            << (new_coord ? new_coord->id().value : 0)
+            << " is the new coordinator (term "
+            << (new_coord ? new_coord->term() : 0) << ")\n";
+
+  std::cout << "5. The clients' leaves re-registered them; the session "
+               "continues\n";
+  ann.resend_recent(kG);  // §6: re-submit updates lost with the crash
+  rt.run_for(1 * kSecond);
+  ann.bcast_update(kG, kCounter, to_bytes("a2 "));
+  bob.bcast_update(kG, kCounter, to_bytes("b2 "));
+  rt.run_for(2 * kSecond);
+  show("ann", rt, ann);
+  show("bob", rt, bob);
+
+  std::cout << "\nNo client ever reconnected or rejoined: the leaves "
+               "re-registered membership\nwith the elected coordinator and "
+               "the freshest state copy was pulled from a\nsurviving holder "
+               "(paper §4.2 takeover).\n";
+  return 0;
+}

@@ -1,0 +1,368 @@
+// Scenario runner: drive a replicated Corona deployment from a small
+// line-oriented script — a workbench for exploring the protocol without
+// writing C++.
+//
+// Usage:
+//   ./build/examples/scenario_runner               # runs the built-in demo
+//   ./build/examples/scenario_runner script.corona # runs your script
+//
+// Script language (one command per line, '#' comments):
+//   servers N                  topology: coordinator + N-1 leaves
+//   client NAME LEAF           client NAME attached to server index LEAF
+//   create NAME GROUP [persistent|transient]
+//   join NAME GROUP [full|last:N|nothing]
+//   leave NAME GROUP
+//   send NAME GROUP OBJ TEXT...      bcastUpdate (appends)
+//   set  NAME GROUP OBJ TEXT...      bcastState (replaces)
+//   lock NAME GROUP OBJ / unlock NAME GROUP OBJ
+//   reduce NAME GROUP
+//   resend NAME GROUP          client crash-recovery resend
+//   run DURATION               advance virtual time (e.g. 500ms, 3s)
+//   crash-server I / restart-server I
+//   crash-client NAME
+//   rehome NAME LEAF           point NAME's client at another server
+//   show NAME GROUP OBJ        print NAME's replica of the object
+//   members NAME GROUP         print NAME's membership view
+//   coordinator                print who is coordinator
+//   expect NAME GROUP OBJ TEXT...    assert a replica's content (exits 1)
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/client.h"
+#include "replica/replica_server.h"
+#include "runtime/sim_runtime.h"
+
+using namespace corona;
+
+namespace {
+
+const char* kDemoScript = R"(# Built-in demo: failover in a dozen commands.
+# Operations are asynchronous: `run` advances virtual time between steps.
+servers 4
+client ann 1
+client bob 2
+create ann 1 persistent
+run 200ms
+join ann 1
+join bob 1
+run 500ms
+send ann 1 1 hello from ann;
+run 200ms
+send bob 1 1 hello from bob;
+run 500ms
+show ann 1 1
+coordinator
+crash-server 0
+run 6s
+coordinator
+send bob 1 1 still alive;
+run 2s
+show ann 1 1
+expect ann 1 1 hello from ann;hello from bob;still alive;
+expect bob 1 1 hello from ann;hello from bob;still alive;
+)";
+
+Duration parse_duration(const std::string& s) {
+  std::size_t pos = 0;
+  const long long v = std::stoll(s, &pos);
+  const std::string unit = s.substr(pos);
+  if (unit == "ms") return v * kMillisecond;
+  if (unit == "s") return v * kSecond;
+  if (unit == "us" || unit.empty()) return v;
+  throw std::runtime_error("bad duration: " + s);
+}
+
+class Scenario {
+ public:
+  int run(std::istream& in) {
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      const auto hash = line.find('#');
+      if (hash != std::string::npos) line.resize(hash);
+      std::istringstream tok(line);
+      std::string cmd;
+      if (!(tok >> cmd)) continue;
+      try {
+        if (!dispatch(cmd, tok)) {
+          std::cerr << "line " << lineno << ": unknown command '" << cmd
+                    << "'\n";
+          return 1;
+        }
+      } catch (const std::exception& e) {
+        std::cerr << "line " << lineno << ": " << e.what() << "\n";
+        return 1;
+      }
+      if (failed_) return 1;
+    }
+    std::cout << "scenario complete at t=" << to_ms(rt_.now()) << " ms\n";
+    return 0;
+  }
+
+ private:
+  bool dispatch(const std::string& cmd, std::istringstream& tok) {
+    if (cmd == "servers") return cmd_servers(tok);
+    if (cmd == "client") return cmd_client(tok);
+    if (cmd == "create") return cmd_create(tok);
+    if (cmd == "join") return cmd_join(tok);
+    if (cmd == "leave") return cmd_simple(tok, [](CoronaClient& c, GroupId g) {
+      c.leave(g);
+    });
+    if (cmd == "send") return cmd_payload(tok, PayloadKind::kUpdate);
+    if (cmd == "set") return cmd_payload(tok, PayloadKind::kState);
+    if (cmd == "lock") return cmd_lockish(tok, true);
+    if (cmd == "unlock") return cmd_lockish(tok, false);
+    if (cmd == "reduce") return cmd_simple(tok, [](CoronaClient& c, GroupId g) {
+      c.reduce_log(g);
+    });
+    if (cmd == "resend") return cmd_simple(tok, [](CoronaClient& c, GroupId g) {
+      c.resend_recent(g);
+    });
+    if (cmd == "run") return cmd_run(tok);
+    if (cmd == "crash-server") return cmd_crash_server(tok, true);
+    if (cmd == "restart-server") return cmd_crash_server(tok, false);
+    if (cmd == "crash-client") return cmd_crash_client(tok);
+    if (cmd == "rehome") return cmd_rehome(tok);
+    if (cmd == "show") return cmd_show(tok, false);
+    if (cmd == "expect") return cmd_show(tok, true);
+    if (cmd == "members") return cmd_members(tok);
+    if (cmd == "coordinator") return cmd_coordinator();
+    return false;
+  }
+
+  bool cmd_servers(std::istringstream& tok) {
+    std::size_t n = 0;
+    tok >> n;
+    if (n == 0) throw std::runtime_error("servers needs a count >= 1");
+    for (std::size_t i = 0; i < n; ++i) {
+      server_ids_.push_back(NodeId{1 + i});
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      servers_.push_back(
+          std::make_unique<ReplicaServer>(ReplicaConfig{}, server_ids_));
+      rt_.add_node(server_ids_[i], servers_.back().get(),
+                   rt_.network().add_host(HostProfile::ultrasparc()));
+    }
+    rt_.start();
+    rt_.run_for(500 * kMillisecond);
+    std::cout << "started " << n << " servers (coordinator = server 0)\n";
+    return true;
+  }
+
+  bool cmd_client(std::istringstream& tok) {
+    std::string name;
+    std::size_t leaf = 0;
+    tok >> name >> leaf;
+    require_server(leaf);
+    const NodeId id{100 + clients_.size()};
+    auto client = std::make_unique<CoronaClient>(server_ids_[leaf]);
+    rt_.add_node(id, client.get(), rt_.network().add_host(HostProfile{}));
+    rt_.start();
+    client_ids_[name] = id;
+    clients_[name] = std::move(client);
+    rt_.run_for(50 * kMillisecond);
+    std::cout << "client " << name << " (node " << id.value
+              << ") attached to server " << leaf << "\n";
+    return true;
+  }
+
+  bool cmd_create(std::istringstream& tok) {
+    std::string name, flag;
+    std::uint64_t g = 0;
+    tok >> name >> g >> flag;
+    client(name).create_group(GroupId{g}, "group-" + std::to_string(g),
+                              flag != "transient");
+    return true;
+  }
+
+  bool cmd_join(std::istringstream& tok) {
+    std::string name, policy;
+    std::uint64_t g = 0;
+    tok >> name >> g >> policy;
+    TransferPolicySpec spec = TransferPolicySpec::full();
+    if (policy == "nothing") {
+      spec = TransferPolicySpec::nothing();
+    } else if (policy.rfind("last:", 0) == 0) {
+      spec = TransferPolicySpec::last_n_updates(
+          static_cast<std::uint32_t>(std::stoul(policy.substr(5))));
+    }
+    client(name).join(GroupId{g}, spec);
+    return true;
+  }
+
+  template <typename Fn>
+  bool cmd_simple(std::istringstream& tok, Fn fn) {
+    std::string name;
+    std::uint64_t g = 0;
+    tok >> name >> g;
+    fn(client(name), GroupId{g});
+    return true;
+  }
+
+  bool cmd_payload(std::istringstream& tok, PayloadKind kind) {
+    std::string name;
+    std::uint64_t g = 0, obj = 0;
+    tok >> name >> g >> obj;
+    std::string text;
+    std::getline(tok, text);
+    if (!text.empty() && text.front() == ' ') text.erase(0, 1);
+    if (kind == PayloadKind::kUpdate) {
+      client(name).bcast_update(GroupId{g}, ObjectId{obj}, to_bytes(text));
+    } else {
+      client(name).bcast_state(GroupId{g}, ObjectId{obj}, to_bytes(text));
+    }
+    return true;
+  }
+
+  bool cmd_lockish(std::istringstream& tok, bool acquire) {
+    std::string name;
+    std::uint64_t g = 0, obj = 0;
+    tok >> name >> g >> obj;
+    if (acquire) {
+      client(name).lock(GroupId{g}, ObjectId{obj});
+    } else {
+      client(name).unlock(GroupId{g}, ObjectId{obj});
+    }
+    return true;
+  }
+
+  bool cmd_run(std::istringstream& tok) {
+    std::string d;
+    tok >> d;
+    rt_.run_for(parse_duration(d));
+    return true;
+  }
+
+  bool cmd_crash_server(std::istringstream& tok, bool crash) {
+    std::size_t i = 0;
+    tok >> i;
+    require_server(i);
+    if (crash) {
+      rt_.crash(server_ids_[i]);
+      std::cout << "server " << i << " crashed\n";
+    } else {
+      auto fresh =
+          std::make_unique<ReplicaServer>(ReplicaConfig{}, server_ids_);
+      rt_.restart(server_ids_[i], fresh.get());
+      servers_[i] = std::move(fresh);
+      std::cout << "server " << i << " restarted\n";
+    }
+    return true;
+  }
+
+  bool cmd_crash_client(std::istringstream& tok) {
+    std::string name;
+    tok >> name;
+    rt_.crash(client_ids_.at(name));
+    std::cout << "client " << name << " crashed\n";
+    return true;
+  }
+
+  bool cmd_rehome(std::istringstream& tok) {
+    std::string name;
+    std::size_t leaf = 0;
+    tok >> name >> leaf;
+    require_server(leaf);
+    client(name).set_server(server_ids_[leaf]);
+    std::cout << "client " << name << " rehomed to server " << leaf << "\n";
+    return true;
+  }
+
+  bool cmd_show(std::istringstream& tok, bool expect) {
+    std::string name;
+    std::uint64_t g = 0, obj = 0;
+    tok >> name >> g >> obj;
+    std::string want;
+    std::getline(tok, want);
+    if (!want.empty() && want.front() == ' ') want.erase(0, 1);
+    const SharedState* st = client(name).group_state(GroupId{g});
+    const std::string got =
+        st != nullptr && st->has_object(ObjectId{obj})
+            ? to_string(*st->object(ObjectId{obj}))
+            : std::string("<none>");
+    if (expect) {
+      if (got != want) {
+        std::cerr << "EXPECT FAILED for " << name << " group " << g
+                  << " obj " << obj << ":\n  want \"" << want
+                  << "\"\n  got  \"" << got << "\"\n";
+        failed_ = true;
+      } else {
+        std::cout << "expect ok (" << name << " obj " << obj << ")\n";
+      }
+    } else {
+      std::cout << name << " group " << g << " obj " << obj << ": \"" << got
+                << "\"\n";
+    }
+    return true;
+  }
+
+  bool cmd_members(std::istringstream& tok) {
+    std::string name;
+    std::uint64_t g = 0;
+    tok >> name >> g;
+    std::cout << name << " sees members of group " << g << ":";
+    for (const MemberInfo& m : client(name).known_members(GroupId{g})) {
+      std::cout << " " << m.node.value
+                << (m.role == MemberRole::kObserver ? "(obs)" : "");
+    }
+    std::cout << "\n";
+    return true;
+  }
+
+  bool cmd_coordinator() {
+    for (std::size_t i = 0; i < servers_.size(); ++i) {
+      if (!rt_.is_crashed(server_ids_[i]) && servers_[i]->is_coordinator()) {
+        std::cout << "coordinator: server " << i << " (term "
+                  << servers_[i]->term() << ")\n";
+        return true;
+      }
+    }
+    std::cout << "coordinator: none elected\n";
+    return true;
+  }
+
+  CoronaClient& client(const std::string& name) {
+    auto it = clients_.find(name);
+    if (it == clients_.end()) {
+      throw std::runtime_error("unknown client: " + name);
+    }
+    return *it->second;
+  }
+
+  void require_server(std::size_t i) const {
+    if (i >= server_ids_.size()) {
+      throw std::runtime_error("no such server index");
+    }
+  }
+
+  SimRuntime rt_;
+  std::vector<NodeId> server_ids_;
+  std::vector<std::unique_ptr<ReplicaServer>> servers_;
+  std::map<std::string, std::unique_ptr<CoronaClient>> clients_;
+  std::map<std::string, NodeId> client_ids_;
+  bool failed_ = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Scenario scenario;
+  if (argc > 1) {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::cerr << "cannot open " << argv[1] << "\n";
+      return 1;
+    }
+    return scenario.run(file);
+  }
+  std::istringstream demo(kDemoScript);
+  std::cout << "(running the built-in demo script; pass a file to run your "
+               "own)\n\n";
+  return scenario.run(demo);
+}

@@ -1,0 +1,337 @@
+#include "core/client.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace corona {
+
+CoronaClient::CoronaClient(NodeId server)
+    : CoronaClient(server, Callbacks{}, Config{}) {}
+
+CoronaClient::CoronaClient(NodeId server, Callbacks callbacks)
+    : CoronaClient(server, std::move(callbacks), Config{}) {}
+
+CoronaClient::CoronaClient(NodeId server, Callbacks callbacks, Config config)
+    : server_(server), cb_(std::move(callbacks)), config_(config) {}
+
+// ---------------------------------------------------------------------------
+// Operations
+// ---------------------------------------------------------------------------
+
+RequestId CoronaClient::create_group(GroupId g, std::string name,
+                                     bool persistent,
+                                     std::vector<StateEntry> initial_state) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  const RequestId rid = next_request();
+  send(server_, make_create_group(g, std::move(name), persistent,
+                                  std::move(initial_state), rid));
+  return rid;
+}
+
+RequestId CoronaClient::delete_group(GroupId g) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  const RequestId rid = next_request();
+  send(server_, make_delete_group(g, rid));
+  return rid;
+}
+
+RequestId CoronaClient::join(GroupId g, TransferPolicySpec policy,
+                             MemberRole role, bool notify_membership) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  const RequestId rid = next_request();
+  send(server_, make_join(g, std::move(policy), role, notify_membership, rid));
+  return rid;
+}
+
+RequestId CoronaClient::leave(GroupId g) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  const RequestId rid = next_request();
+  replicas_.erase(g);
+  recent_sends_.erase(g);
+  send(server_, make_leave(g, rid));
+  return rid;
+}
+
+RequestId CoronaClient::get_membership(GroupId g) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  const RequestId rid = next_request();
+  send(server_, make_get_membership(g, rid));
+  return rid;
+}
+
+RequestId CoronaClient::bcast_state(GroupId g, ObjectId obj, Bytes payload,
+                                    bool sender_inclusive) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  const RequestId rid = next_request();
+  UpdateRecord rec;
+  rec.kind = PayloadKind::kState;
+  rec.object = obj;
+  rec.data = payload;
+  rec.sender = id();
+  rec.request_id = rid;
+  remember_send(g, rec);
+  send(server_, make_bcast(PayloadKind::kState, g, obj, std::move(payload),
+                           sender_inclusive, rid));
+  return rid;
+}
+
+RequestId CoronaClient::bcast_update(GroupId g, ObjectId obj, Bytes payload,
+                                     bool sender_inclusive) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  const RequestId rid = next_request();
+  UpdateRecord rec;
+  rec.kind = PayloadKind::kUpdate;
+  rec.object = obj;
+  rec.data = payload;
+  rec.sender = id();
+  rec.request_id = rid;
+  remember_send(g, rec);
+  send(server_, make_bcast(PayloadKind::kUpdate, g, obj, std::move(payload),
+                           sender_inclusive, rid));
+  return rid;
+}
+
+RequestId CoronaClient::lock(GroupId g, ObjectId obj) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  const RequestId rid = next_request();
+  send(server_, make_lock_request(g, obj, rid));
+  return rid;
+}
+
+RequestId CoronaClient::unlock(GroupId g, ObjectId obj) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  const RequestId rid = next_request();
+  send(server_, make_lock_release(g, obj, rid));
+  return rid;
+}
+
+RequestId CoronaClient::reduce_log(GroupId g, SeqNo upto) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  const RequestId rid = next_request();
+  send(server_, make_reduce_log(g, upto, rid));
+  return rid;
+}
+
+void CoronaClient::remember_send(GroupId g, const UpdateRecord& rec) {
+  if (config_.resend_buffer == 0) return;
+  auto& buf = recent_sends_[g];
+  buf.push_back(rec);
+  while (buf.size() > config_.resend_buffer) buf.pop_front();
+}
+
+void CoronaClient::resend_recent(GroupId g) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto it = recent_sends_.find(g);
+  if (it == recent_sends_.end() || it->second.empty()) return;
+  Message m;
+  m.type = MsgType::kResendReply;
+  m.group = g;
+  m.updates.assign(it->second.begin(), it->second.end());
+  send(server_, m);
+}
+
+// ---------------------------------------------------------------------------
+// Local replica reads
+// ---------------------------------------------------------------------------
+
+const SharedState* CoronaClient::group_state(GroupId g) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto it = replicas_.find(g);
+  return it != replicas_.end() ? &it->second.state : nullptr;
+}
+
+std::vector<MemberInfo> CoronaClient::known_members(GroupId g) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::vector<MemberInfo> out;
+  auto it = replicas_.find(g);
+  if (it == replicas_.end()) return out;
+  for (const auto& [node, role] : it->second.members) {
+    out.push_back(MemberInfo{node, role});
+  }
+  return out;
+}
+
+SeqNo CoronaClient::expected_seq(GroupId g) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto it = replicas_.find(g);
+  return it != replicas_.end() ? it->second.next_expected : 0;
+}
+
+// ---------------------------------------------------------------------------
+// Keepalives
+// ---------------------------------------------------------------------------
+
+void CoronaClient::on_start() {
+  if (config_.heartbeat_interval > 0) {
+    set_timer(config_.heartbeat_interval, /*tag=*/1);
+  }
+}
+
+void CoronaClient::on_timer(std::uint64_t tag) {
+  if (tag != 1) return;
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  send(server_, make_heartbeat(0));
+  set_timer(config_.heartbeat_interval, /*tag=*/1);
+}
+
+// ---------------------------------------------------------------------------
+// Message handling
+// ---------------------------------------------------------------------------
+
+void CoronaClient::on_message(NodeId from, const Message& m) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  (void)from;
+  switch (m.type) {
+    case MsgType::kReply:
+      if (cb_.on_reply) {
+        cb_.on_reply(m.request_id, Status{m.status, m.text});
+      }
+      break;
+    case MsgType::kJoinReply: handle_join_reply(m); break;
+    case MsgType::kDeliver: handle_deliver(m); break;
+    case MsgType::kStateReply: handle_state_reply(m); break;
+    case MsgType::kMembershipInfo: {
+      auto it = replicas_.find(m.group);
+      if (it != replicas_.end()) {
+        it->second.members.clear();
+        for (const MemberInfo& mi : m.members) {
+          it->second.members.emplace(mi.node, mi.role);
+        }
+      }
+      if (cb_.on_membership_info) cb_.on_membership_info(m.group, m.members);
+      break;
+    }
+    case MsgType::kMembershipNotice: {
+      auto it = replicas_.find(m.group);
+      if (it != replicas_.end()) {
+        if (m.accept) {
+          it->second.members.emplace(m.sender, m.role);
+        } else {
+          it->second.members.erase(m.sender);
+        }
+      }
+      if (cb_.on_membership_change) {
+        cb_.on_membership_change(m.group, m.sender, m.role, m.accept);
+      }
+      break;
+    }
+    case MsgType::kLockGrant:
+      if (cb_.on_lock_granted) cb_.on_lock_granted(m.group, m.object);
+      break;
+    case MsgType::kGroupDeleted:
+      replicas_.erase(m.group);
+      recent_sends_.erase(m.group);
+      if (cb_.on_group_deleted) cb_.on_group_deleted(m.group);
+      break;
+    case MsgType::kLogReduced:
+      // The local replica's history is not trimmed automatically; clients
+      // that mirror the history can react via on_reply-style polling.  The
+      // consolidated state is unaffected by reduction.
+      if (cb_.on_reply) {
+        cb_.on_reply(m.request_id, Status::ok());
+      }
+      break;
+    case MsgType::kResendRequest:
+      resend_recent(m.group);
+      break;
+    case MsgType::kStateQuery: {
+      // Peer-transfer donor duty (the §2 ISIS-style baseline): the server
+      // asks this member to supply the group state for a joining client.
+      Message reply;
+      reply.type = MsgType::kStateReply;
+      reply.group = m.group;
+      reply.request_id = m.request_id;
+      auto it = replicas_.find(m.group);
+      if (it == replicas_.end()) {
+        reply.status = Errc::kNotFound;
+      } else {
+        reply.seq = it->second.state.head_seq();
+        reply.state = it->second.state.snapshot();
+      }
+      send(from, reply);
+      break;
+    }
+    default:
+      LOG_WARN("client", "unexpected ", msg_type_name(m.type));
+      break;
+  }
+}
+
+void CoronaClient::handle_join_reply(const Message& m) {
+  if (m.status != Errc::kOk) {
+    if (cb_.on_joined) cb_.on_joined(m.group, Status{m.status, m.text});
+    return;
+  }
+  Replica r;
+  r.state.load(m.seq, m.state);
+  for (const UpdateRecord& u : m.updates) r.state.apply(u);
+  r.next_expected = r.state.head_seq() + 1;
+  for (const MemberInfo& mi : m.members) r.members.emplace(mi.node, mi.role);
+  replicas_[m.group] = std::move(r);
+  if (cb_.on_joined) cb_.on_joined(m.group, Status::ok());
+}
+
+void CoronaClient::apply_record(GroupId g, Replica& r,
+                                const UpdateRecord& rec) {
+  r.state.apply(rec);
+  r.next_expected = rec.seq + 1;
+  ++deliveries_received_;
+  if (cb_.on_deliver) cb_.on_deliver(g, rec);
+}
+
+void CoronaClient::handle_deliver(const Message& m) {
+  auto it = replicas_.find(m.group);
+  if (it == replicas_.end()) return;  // left the group; stale delivery
+  Replica& r = it->second;
+
+  UpdateRecord rec;
+  rec.seq = m.seq;
+  rec.kind = m.kind;
+  rec.object = m.object;
+  rec.data = m.payload;
+  rec.sender = m.sender;
+  rec.timestamp = m.timestamp;
+  rec.request_id = m.request_id;
+
+  if (rec.seq < r.next_expected) return;  // duplicate
+  if (rec.seq > r.next_expected && config_.gap_detection) {
+    ++gaps_detected_;
+    if (!r.awaiting_retransmit) {
+      r.awaiting_retransmit = true;
+      Message req;
+      req.type = MsgType::kRetransmitReq;
+      req.group = m.group;
+      req.seq = r.next_expected;
+      req.seq2 = rec.seq;  // the gap ends where this delivery begins
+      send(server_, req);
+    }
+    // The out-of-order record itself is recovered by the retransmit reply
+    // (its range is inclusive of rec.seq? no: seq2 = rec.seq - 1 suffices,
+    // so apply rec after the gap fills).  Buffering one record keeps the
+    // protocol simple: re-request includes rec.seq as well and we drop it
+    // here; the server resends it.
+    return;
+  }
+  apply_record(m.group, r, rec);
+}
+
+void CoronaClient::handle_state_reply(const Message& m) {
+  auto it = replicas_.find(m.group);
+  if (it == replicas_.end()) return;
+  Replica& r = it->second;
+  r.awaiting_retransmit = false;
+  if (!m.state.empty()) {
+    // The gap was reduced away server-side: reload from the snapshot.
+    r.state.load(m.seq, m.state);
+    r.next_expected = m.seq + 1;
+    return;
+  }
+  for (const UpdateRecord& u : m.updates) {
+    if (u.seq == r.next_expected) {
+      apply_record(m.group, r, u);
+    }
+  }
+}
+
+}  // namespace corona

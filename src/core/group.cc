@@ -1,0 +1,28 @@
+#include "core/group.h"
+
+namespace corona {
+
+bool Group::add_member(NodeId node, MemberRole role, bool wants_notices) {
+  return members_.emplace(node, Member{role, wants_notices}).second;
+}
+
+bool Group::remove_member(NodeId node) { return members_.erase(node) > 0; }
+
+std::vector<MemberInfo> Group::member_list() const {
+  std::vector<MemberInfo> out;
+  out.reserve(members_.size());
+  for (const auto& [node, m] : members_) {
+    out.push_back(MemberInfo{node, m.role});
+  }
+  return out;
+}
+
+std::vector<NodeId> Group::notice_subscribers() const {
+  std::vector<NodeId> out;
+  for (const auto& [node, m] : members_) {
+    if (m.wants_membership_notices) out.push_back(node);
+  }
+  return out;
+}
+
+}  // namespace corona

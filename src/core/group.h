@@ -1,0 +1,78 @@
+// Group bookkeeping at the server (paper §3.1).
+//
+// A group binds together: metadata (persistent/transient), the shared state,
+// the membership (with roles and per-member notification preferences), the
+// sequencer for the group's total order, the lock table, and the dedup set
+// used by crash recovery (one (sender, request-id) pair per sequenced
+// message, so resent updates are sequenced at most once).
+#pragma once
+
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/locks.h"
+#include "core/shared_state.h"
+#include "serial/message.h"
+#include "storage/group_store.h"
+#include "util/ids.h"
+
+namespace corona {
+
+struct Member {
+  MemberRole role = MemberRole::kPrincipal;
+  bool wants_membership_notices = false;
+};
+
+class Group {
+ public:
+  explicit Group(GroupMeta meta) : meta_(std::move(meta)) {}
+
+  const GroupMeta& meta() const { return meta_; }
+  bool persistent() const { return meta_.persistent; }
+
+  SharedState& state() { return state_; }
+  const SharedState& state() const { return state_; }
+  LockTable& locks() { return locks_; }
+
+  // -- membership ----------------------------------------------------------
+  // Returns false if already a member.
+  bool add_member(NodeId node, MemberRole role, bool wants_notices);
+  // Returns false if not a member.
+  bool remove_member(NodeId node);
+  bool is_member(NodeId node) const { return members_.contains(node); }
+  std::size_t member_count() const { return members_.size(); }
+  // Members in deterministic (NodeId) order — also the multicast fan-out
+  // order, so the highest-id member is always reached last (the paper
+  // measures its round-trip as the worst case).
+  const std::map<NodeId, Member>& members() const { return members_; }
+  std::vector<MemberInfo> member_list() const;
+  // Members that subscribed to membership-change notifications.
+  std::vector<NodeId> notice_subscribers() const;
+
+  // -- sequencing ------------------------------------------------------------
+  // Allocates the next sequence number in the group's total order.
+  SeqNo allocate_seq() { return next_seq_++; }
+  SeqNo next_seq() const { return next_seq_; }
+  void set_next_seq(SeqNo s) { next_seq_ = s; }
+
+  // -- recovery dedup ---------------------------------------------------------
+  // Marks (sender, rid) as sequenced; returns false if it already was.
+  bool mark_seen(NodeId sender, RequestId rid) {
+    return seen_.emplace(sender.value, rid).second;
+  }
+  bool was_seen(NodeId sender, RequestId rid) const {
+    return seen_.contains({sender.value, rid});
+  }
+
+ private:
+  GroupMeta meta_;
+  SharedState state_;
+  LockTable locks_;
+  std::map<NodeId, Member> members_;
+  SeqNo next_seq_ = 1;
+  std::set<std::pair<std::uint64_t, RequestId>> seen_;
+};
+
+}  // namespace corona

@@ -1,0 +1,71 @@
+#include "core/locks.h"
+
+#include <algorithm>
+
+namespace corona {
+
+LockTable::AcquireOutcome LockTable::acquire(ObjectId object, NodeId who) {
+  auto it = locks_.find(object);
+  if (it == locks_.end()) {
+    locks_.emplace(object, Entry{who, {}});
+    return AcquireOutcome::kGranted;
+  }
+  Entry& e = it->second;
+  if (e.holder == who) return AcquireOutcome::kAlreadyHeld;
+  if (std::find(e.queue.begin(), e.queue.end(), who) != e.queue.end()) {
+    return AcquireOutcome::kAlreadyHeld;
+  }
+  e.queue.push_back(who);
+  return AcquireOutcome::kQueued;
+}
+
+Result<std::optional<NodeId>> LockTable::release(ObjectId object, NodeId who) {
+  auto it = locks_.find(object);
+  if (it == locks_.end()) {
+    return Status::error(Errc::kNotFound, "lock not held");
+  }
+  Entry& e = it->second;
+  if (!(e.holder == who)) {
+    return Status::error(Errc::kLockHeld, "lock held by another member");
+  }
+  if (e.queue.empty()) {
+    locks_.erase(it);
+    return std::optional<NodeId>{};
+  }
+  e.holder = e.queue.front();
+  e.queue.pop_front();
+  return std::optional<NodeId>{e.holder};
+}
+
+std::vector<std::pair<ObjectId, NodeId>> LockTable::drop_member(NodeId who) {
+  std::vector<std::pair<ObjectId, NodeId>> grants;
+  for (auto it = locks_.begin(); it != locks_.end();) {
+    Entry& e = it->second;
+    e.queue.erase(std::remove(e.queue.begin(), e.queue.end(), who),
+                  e.queue.end());
+    if (e.holder == who) {
+      if (e.queue.empty()) {
+        it = locks_.erase(it);
+        continue;
+      }
+      e.holder = e.queue.front();
+      e.queue.pop_front();
+      grants.emplace_back(it->first, e.holder);
+    }
+    ++it;
+  }
+  return grants;
+}
+
+std::optional<NodeId> LockTable::holder(ObjectId object) const {
+  auto it = locks_.find(object);
+  if (it == locks_.end()) return std::nullopt;
+  return it->second.holder;
+}
+
+std::size_t LockTable::waiters(ObjectId object) const {
+  auto it = locks_.find(object);
+  return it == locks_.end() ? 0 : it->second.queue.size();
+}
+
+}  // namespace corona

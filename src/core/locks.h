@@ -1,0 +1,49 @@
+// Per-object lock service (paper §3.2: "Corona also provides interfaces for
+// synchronizing client updates through locks").
+//
+// Locks are advisory, per (group, object), granted in FIFO request order.
+// A member that leaves or crashes implicitly releases every lock it holds
+// and abandons its queued requests; the next waiter (if any) is granted.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "util/ids.h"
+#include "util/result.h"
+
+namespace corona {
+
+class LockTable {
+ public:
+  enum class AcquireOutcome {
+    kGranted,      // caller now holds the lock
+    kQueued,       // someone else holds it; caller is enqueued
+    kAlreadyHeld,  // caller already holds (or is already queued for) it
+  };
+
+  // Requests `object`'s lock for `who`.
+  AcquireOutcome acquire(ObjectId object, NodeId who);
+
+  // Releases `object` if `who` holds it; returns the next grantee, if any.
+  // kNotFound if the lock isn't held, kLockHeld if held by someone else.
+  Result<std::optional<NodeId>> release(ObjectId object, NodeId who);
+
+  // Removes `who` as holder and waiter everywhere (leave/crash).  Returns
+  // the (object, new holder) grants that result.
+  std::vector<std::pair<ObjectId, NodeId>> drop_member(NodeId who);
+
+  std::optional<NodeId> holder(ObjectId object) const;
+  std::size_t waiters(ObjectId object) const;
+
+ private:
+  struct Entry {
+    NodeId holder;
+    std::deque<NodeId> queue;
+  };
+  std::map<ObjectId, Entry> locks_;
+};
+
+}  // namespace corona

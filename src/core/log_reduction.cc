@@ -1,0 +1,18 @@
+#include "core/log_reduction.h"
+
+namespace corona {
+
+std::unique_ptr<ReductionPolicy> make_no_reduction() {
+  return std::make_unique<NoReduction>();
+}
+std::unique_ptr<ReductionPolicy> make_size_threshold(std::uint64_t max_bytes) {
+  return std::make_unique<SizeThresholdReduction>(max_bytes);
+}
+std::unique_ptr<ReductionPolicy> make_count_threshold(std::size_t max_records) {
+  return std::make_unique<CountThresholdReduction>(max_records);
+}
+std::unique_ptr<ReductionPolicy> make_window(std::size_t keep) {
+  return std::make_unique<WindowReduction>(keep);
+}
+
+}  // namespace corona

@@ -1,0 +1,81 @@
+// State-log reduction policies (paper §3.2).
+//
+// "At the request of the communication service (several policies may be
+// implemented based on factors such as the state log size and the type of
+// the data) or, under certain circumstances, when desired by a client, the
+// history of state updates for a group may be trimmed up to a point and
+// replaced with the consistent group state existing at that point."
+//
+// A ReductionPolicy inspects a group's SharedState after each append and
+// answers "reduce now?".  The server performs the actual reduction (trim the
+// in-memory history, install a checkpoint in the GroupStore).  Client-
+// requested reduction (kReduceLog) bypasses the policy.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/shared_state.h"
+
+namespace corona {
+
+class ReductionPolicy {
+ public:
+  virtual ~ReductionPolicy() = default;
+  // Returns the seq to reduce to (usually head), or 0 for "not now".
+  virtual SeqNo should_reduce(const SharedState& state) = 0;
+};
+
+// Never reduce (groups with cheap histories, or the client drives it).
+class NoReduction final : public ReductionPolicy {
+ public:
+  SeqNo should_reduce(const SharedState&) override { return 0; }
+};
+
+// Reduce when the retained history exceeds `max_bytes` of payload.
+class SizeThresholdReduction final : public ReductionPolicy {
+ public:
+  explicit SizeThresholdReduction(std::uint64_t max_bytes)
+      : max_bytes_(max_bytes) {}
+  SeqNo should_reduce(const SharedState& state) override {
+    return state.history_bytes() > max_bytes_ ? state.head_seq() : 0;
+  }
+
+ private:
+  std::uint64_t max_bytes_;
+};
+
+// Reduce when more than `max_records` updates are retained.
+class CountThresholdReduction final : public ReductionPolicy {
+ public:
+  explicit CountThresholdReduction(std::size_t max_records)
+      : max_records_(max_records) {}
+  SeqNo should_reduce(const SharedState& state) override {
+    return state.history_size() > max_records_ ? state.head_seq() : 0;
+  }
+
+ private:
+  std::size_t max_records_;
+};
+
+// Keeps a tail window of `keep` records: reduces down to head-keep whenever
+// the history exceeds 2*keep.  This preserves the ability to serve
+// "latest n" joins for n <= keep while bounding memory.
+class WindowReduction final : public ReductionPolicy {
+ public:
+  explicit WindowReduction(std::size_t keep) : keep_(keep) {}
+  SeqNo should_reduce(const SharedState& state) override {
+    if (state.history_size() <= 2 * keep_) return 0;
+    return state.head_seq() - static_cast<SeqNo>(keep_);
+  }
+
+ private:
+  std::size_t keep_;
+};
+
+std::unique_ptr<ReductionPolicy> make_no_reduction();
+std::unique_ptr<ReductionPolicy> make_size_threshold(std::uint64_t max_bytes);
+std::unique_ptr<ReductionPolicy> make_count_threshold(std::size_t max_records);
+std::unique_ptr<ReductionPolicy> make_window(std::size_t keep);
+
+}  // namespace corona

@@ -1,0 +1,71 @@
+#include "core/qos_scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace corona {
+
+void QosScheduler::set_group_class(GroupId g, int klass) {
+  assert(klass >= 0 && klass < kClasses);
+  group_class_[g] = klass;
+}
+
+int QosScheduler::group_class(GroupId g) const {
+  auto it = group_class_.find(g);
+  return it != group_class_.end() ? it->second : 1;
+}
+
+void QosScheduler::enqueue(NodeId from, Message msg) {
+  const int klass = group_class(msg.group);
+  classes_[klass].push_back(Waiting{Item{from, std::move(msg)}, 0});
+  ++enqueued_;
+  max_depth_ = std::max(max_depth_, depth());
+  maybe_shed();
+}
+
+void QosScheduler::maybe_shed() {
+  if (config_.shed_threshold == 0 || depth() <= config_.shed_threshold) return;
+  // Drop the oldest message of the lowest-priority non-empty class.
+  for (int k = kClasses - 1; k >= 0; --k) {
+    if (!classes_[k].empty()) {
+      classes_[k].pop_front();
+      ++shed_;
+      return;
+    }
+  }
+}
+
+void QosScheduler::age_and_promote() {
+  if (config_.aging_limit == 0) return;
+  for (int k = 1; k < kClasses; ++k) {
+    for (auto& w : classes_[k]) ++w.age;
+    while (!classes_[k].empty() &&
+           classes_[k].front().age >= config_.aging_limit) {
+      Waiting w = std::move(classes_[k].front());
+      classes_[k].pop_front();
+      w.age = 0;
+      classes_[k - 1].push_back(std::move(w));
+      ++promoted_;
+    }
+  }
+}
+
+std::optional<QosScheduler::Item> QosScheduler::dequeue() {
+  for (auto& q : classes_) {
+    if (!q.empty()) {
+      Item item = std::move(q.front().item);
+      q.pop_front();
+      age_and_promote();
+      return item;
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t QosScheduler::depth() const {
+  std::size_t n = 0;
+  for (const auto& q : classes_) n += q.size();
+  return n;
+}
+
+}  // namespace corona

@@ -1,0 +1,75 @@
+// Adaptive QoS message scheduling (paper §5.3: "a QoS-based adaptive version
+// of the Corona server, based on priorities and explicit control over the
+// scheduling of different activities and on dynamic adjustment of its
+// policies according to system load").
+//
+// Groups are assigned one of three priority classes.  Incoming multicasts
+// are drained in class order, with two safeguards:
+//
+//   * aging — a waiting message is promoted one class after `aging_limit`
+//     dequeues pass it by, so low classes are never starved outright;
+//   * adaptive shedding — when the backlog exceeds `shed_threshold`, the
+//     oldest message of the lowest non-empty class is dropped per enqueue
+//     (collaborative awareness traffic degrades before interactive edits).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "serial/message.h"
+#include "util/ids.h"
+
+namespace corona {
+
+class QosScheduler {
+ public:
+  static constexpr int kClasses = 3;  // 0 = highest priority
+
+  struct Config {
+    std::size_t aging_limit = 16;     // dequeues before a class-promote
+    std::size_t shed_threshold = 0;   // 0 disables shedding
+  };
+
+  struct Item {
+    NodeId from;
+    Message msg;
+  };
+
+  QosScheduler() = default;
+  explicit QosScheduler(const Config& config) : config_(config) {}
+
+  // Default class for unknown groups is the middle one.
+  void set_group_class(GroupId g, int klass);
+  int group_class(GroupId g) const;
+
+  void enqueue(NodeId from, Message msg);
+  std::optional<Item> dequeue();
+
+  std::size_t depth() const;
+  bool empty() const { return depth() == 0; }
+  std::uint64_t enqueued() const { return enqueued_; }
+  std::uint64_t shed() const { return shed_; }
+  std::uint64_t promoted() const { return promoted_; }
+  std::size_t max_depth_seen() const { return max_depth_; }
+
+ private:
+  struct Waiting {
+    Item item;
+    std::size_t age = 0;  // dequeues that happened while this waited
+  };
+
+  void maybe_shed();
+  void age_and_promote();
+
+  Config config_;
+  std::deque<Waiting> classes_[kClasses];
+  std::unordered_map<GroupId, int> group_class_;
+  std::uint64_t enqueued_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t promoted_ = 0;
+  std::size_t max_depth_ = 0;
+};
+
+}  // namespace corona

@@ -1,0 +1,237 @@
+// CoronaServer — the stateful logical server (paper §3).
+//
+// The server owns, per group: the shared state, the membership, the total
+// order (a per-group sequencer), the lock table, and the durable log.  It
+// answers the full client protocol:
+//
+//   create/delete group, join (with customized state transfer), leave,
+//   getMembership, bcastState/bcastUpdate (sender-inclusive or -exclusive,
+//   server-side timestamping), lock request/release, client-requested and
+//   policy-driven log reduction, gap retransmission, and recovery resends.
+//
+// Configuration covers the evaluation axes of §5: stateful vs stateless
+// operation (Figure 3), flush policy for the durable log (the §6 "logging is
+// off the critical path" claim), reduction policy, and the optional QoS
+// scheduler of §5.3.
+//
+// Deployment: a CoronaServer can serve clients directly (single-server
+// configuration) or sit behind the replicated service of src/replica/, which
+// embeds the same class per leaf.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/group.h"
+#include "core/log_reduction.h"
+#include "core/qos_scheduler.h"
+#include "core/session_manager.h"
+#include "core/state_transfer.h"
+#include "runtime/runtime.h"
+#include "serial/message.h"
+#include "storage/group_store.h"
+#include "util/ids.h"
+
+namespace corona {
+
+// Where join-time state transfers come from.
+//
+//   kService — the paper's design: the stateful server answers the join from
+//              its own copy; no existing member is involved (§3.2).
+//   kPeer    — the ISIS-style baseline the paper argues against (§2): the
+//              state is fetched from an existing member, so "slow members
+//              can slow down the join operation" and a crashed donor costs
+//              "the timeout for failure detection and making an additional
+//              request to another client".  Implemented for the comparative
+//              benches; not recommended for use.
+enum class JoinTransferMode { kService, kPeer };
+
+// When the durable log is made durable relative to delivery (§6).
+enum class FlushPolicy {
+  kNone,   // never flush (pure-memory log; everything lost on crash)
+  kAsync,  // flush on a timer, off the multicast critical path (the paper's
+           // design: "multicast data to a group in parallel with disk logging")
+  kSync,   // flush + await the device before delivering (ablation baseline)
+};
+
+struct ServerConfig {
+  // false reproduces the "stateless" curve of Figure 3: the server still
+  // sequences and multicasts but maintains no shared state and no log, and
+  // joins transfer nothing.
+  bool stateful = true;
+
+  FlushPolicy flush = FlushPolicy::kAsync;
+  Duration flush_interval = 100 * kMillisecond;
+
+  // Join-transfer source (see JoinTransferMode).  kPeer waits up to
+  // `peer_timeout` for a donor member before retrying the next one, and
+  // falls back to the service copy when no member can answer.
+  JoinTransferMode join_transfer = JoinTransferMode::kService;
+  Duration peer_timeout = 1 * kSecond;
+
+  // CPU charged per sequenced message for state maintenance (applying the
+  // message to the in-memory state and appending to the in-memory log).
+  // Constant per message + linear in payload — this is the overhead Figure 3
+  // shows to be negligible next to the N point-to-point sends.
+  Duration state_cpu_per_msg = 20;       // us
+  double state_cpu_per_byte = 0.02;      // us/byte
+
+  // Per-group reduction policy factory (default: never reduce).
+  std::function<std::unique_ptr<ReductionPolicy>()> reduction_factory;
+
+  // Optional QoS scheduling of incoming multicasts (§5.3).
+  bool enable_qos = false;
+  QosScheduler::Config qos;
+  // Pacing of the QoS drain loop: one queued multicast is admitted to the
+  // sequencer every `qos_service_time`.  Under overload the queue builds up
+  // and the scheduler's priorities, aging and shedding decide who waits —
+  // the "explicit control over the scheduling of different activities" of
+  // the §5.3 adaptive server.  0 drains back-to-back.
+  Duration qos_service_time = 0;
+
+  // Client-failure tolerance (companion paper [15]: "how to deal with
+  // client or link failures").  When > 0, a member silent for longer than
+  // this is treated as crashed: it is removed from every group, its locks
+  // are released to the next waiters, and membership notices go out.
+  // Clients send keepalive heartbeats when idle (CoronaClient::Config).
+  // 0 disables the sweep (clients only leave explicitly).
+  Duration client_timeout = 0;
+
+  // §5.3 extension: deliver through the runtime's one-to-many primitive
+  // ("a version of the communication system which uses both IP-multicast,
+  // whenever possible, and point-to-point TCP connections").  Fan-out then
+  // costs the server one send instead of one per member — the scalability
+  // trade §4 discusses.  Point-to-point remains the default because "some
+  // clients are connected through ISPs that do not provide IP-multicast".
+  bool use_ip_multicast = false;
+};
+
+// Counters the benches read off the server.
+struct ServerStats {
+  std::uint64_t messages_sequenced = 0;
+  std::uint64_t deliveries_sent = 0;
+  std::uint64_t delivery_bytes = 0;
+  std::uint64_t joins_served = 0;
+  std::uint64_t transfer_bytes = 0;  // state shipped in join replies
+  std::uint64_t reductions = 0;
+  std::uint64_t records_dropped_by_reduction = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t resends_applied = 0;
+  std::uint64_t retransmits_served = 0;
+  std::uint64_t qos_shed = 0;
+  std::uint64_t clients_expired = 0;   // dropped by the liveness sweep
+  std::uint64_t peer_transfers = 0;    // joins served by a donor member
+  std::uint64_t peer_timeouts = 0;     // donors that had to be skipped
+};
+
+class CoronaServer : public Node {
+ public:
+  // `store` is the server's "disk": it must outlive the server object so a
+  // fresh CoronaServer can be constructed over it after a crash (the sim
+  // models a machine whose disk survives process failure).  Pass nullptr for
+  // a throwaway in-process store.  `session_manager` may be nullptr (allow
+  // all).
+  CoronaServer(ServerConfig config, GroupStore* store,
+               SessionManager* session_manager = nullptr);
+  ~CoronaServer() override;
+
+  void on_start() override;
+  void on_message(NodeId from, const Message& m) override;
+  void on_timer(std::uint64_t tag) override;
+
+  const ServerStats& stats() const { return stats_; }
+  GroupStore& store() { return *store_; }
+  bool has_group(GroupId g) const { return groups_.contains(g); }
+  const Group* group(GroupId g) const;
+  std::size_t group_count() const { return groups_.size(); }
+  // Sets the QoS class of a group (0 = highest of 3).
+  void set_group_qos_class(GroupId g, int klass);
+
+ private:
+  friend class ReplicaServer;  // the replicated leaf reuses group handling
+
+  // -- request handlers ------------------------------------------------------
+  void handle_create(NodeId from, const Message& m);
+  void handle_delete(NodeId from, const Message& m);
+  void handle_join(NodeId from, const Message& m);
+  void handle_leave(NodeId from, const Message& m);
+  void handle_get_membership(NodeId from, const Message& m);
+  void handle_bcast(NodeId from, const Message& m);
+  void handle_lock_request(NodeId from, const Message& m);
+  void handle_lock_release(NodeId from, const Message& m);
+  void handle_reduce_log(NodeId from, const Message& m);
+  void handle_retransmit(NodeId from, const Message& m);
+  void handle_resend_reply(NodeId from, const Message& m);
+  // Peer-transfer baseline (JoinTransferMode::kPeer).
+  struct PendingPeerJoin;
+  void begin_peer_transfer(Group& group, NodeId joiner, const Message& join);
+  void handle_peer_state(NodeId from, const Message& m);
+  void peer_transfer_timeout(std::uint64_t token);
+  void finish_join_reply(Group& group, const PendingPeerJoin& p, SeqNo base,
+                         std::vector<StateEntry> snapshot,
+                         std::vector<UpdateRecord> updates);
+
+  // -- internals -------------------------------------------------------------
+  Group* find_group(GroupId g);
+  Status authorize(NodeId client, GroupId g, GroupAction action);
+  // Sequences `rec` into `group`, applies it to state + log, charges CPU.
+  // Delivery is immediate (kNone/kAsync) or deferred behind the disk (kSync).
+  void sequence_and_deliver(Group& group, UpdateRecord rec,
+                            bool sender_inclusive, NodeId sender);
+  void deliver_to_members(Group& group, const UpdateRecord& rec,
+                          bool sender_inclusive, NodeId sender);
+  void send_membership_notices(Group& group, NodeId subject, MemberRole role,
+                               bool joined);
+  void perform_reduction(Group& group, SeqNo upto);
+  void maybe_reduce(Group& group);
+  void drop_member_everywhere(NodeId who);  // leave/disconnect cleanup
+  void schedule_flush();
+  void flush_now();
+  void process(NodeId from, const Message& m);  // post-QoS dispatch
+  void recover_from_store();
+
+  ServerConfig config_;
+  GroupStore* store_;                      // may point at owned_store_
+  std::unique_ptr<GroupStore> owned_store_;
+  SessionManager* session_;                // may point at owned_session_
+  std::unique_ptr<SessionManager> owned_session_;
+  std::map<GroupId, Group> groups_;
+  std::map<GroupId, std::unique_ptr<ReductionPolicy>> reduction_;
+  std::map<NodeId, TimePoint> client_last_heard_;
+  QosScheduler qos_;
+  bool qos_drain_scheduled_ = false;
+  TimePoint qos_busy_until_ = 0;  // end of the current admission slot
+  ServerStats stats_;
+
+  struct PendingSyncDelivery {
+    GroupId group;
+    UpdateRecord rec;
+    bool sender_inclusive;
+    NodeId sender;
+  };
+  std::map<std::uint64_t, PendingSyncDelivery> pending_sync_;
+  std::uint64_t next_pending_ = 1;
+
+  struct PendingPeerJoin {
+    GroupId group;
+    NodeId joiner;
+    RequestId request_id = 0;
+    MemberRole role = MemberRole::kPrincipal;
+    bool notify = false;
+    NodeId donor;
+    std::vector<NodeId> remaining_donors;
+    TimerHandle timer = 0;
+  };
+  std::map<std::uint64_t, PendingPeerJoin> pending_peer_;
+  std::uint64_t next_peer_token_ = 1;
+
+  static constexpr std::uint64_t kFlushTimer = 1;
+  static constexpr std::uint64_t kQosDrainTimer = 2;
+  static constexpr std::uint64_t kLivenessTimer = 3;
+  static constexpr std::uint64_t kSyncTagBase = 1000;
+  static constexpr std::uint64_t kPeerTagBase = 1u << 30;
+};
+
+}  // namespace corona

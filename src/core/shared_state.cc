@@ -1,0 +1,125 @@
+#include "core/shared_state.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace corona {
+
+void SharedState::load(SeqNo base_seq, const std::vector<StateEntry>& snapshot) {
+  objects_.clear();
+  base_objects_.clear();
+  history_.clear();
+  history_bytes_ = 0;
+  state_bytes_ = 0;
+  base_seq_ = base_seq;
+  head_seq_ = base_seq;
+  for (const StateEntry& s : snapshot) {
+    state_bytes_ += s.data.size();
+    objects_[s.object] = s.data;
+    base_objects_[s.object] = s.data;
+  }
+}
+
+void SharedState::apply_to(std::map<ObjectId, Bytes>& objects,
+                           const UpdateRecord& rec) {
+  Bytes& obj = objects[rec.object];
+  if (rec.kind == PayloadKind::kState) {
+    obj = rec.data;
+  } else {
+    obj.insert(obj.end(), rec.data.begin(), rec.data.end());
+  }
+}
+
+void SharedState::apply(const UpdateRecord& rec) {
+  assert(rec.seq > head_seq_ && "records must be applied in sequence order");
+  head_seq_ = rec.seq;
+  if (rec.kind == PayloadKind::kState) {
+    auto it = objects_.find(rec.object);
+    state_bytes_ -= it != objects_.end() ? it->second.size() : 0;
+    state_bytes_ += rec.data.size();
+  } else {
+    state_bytes_ += rec.data.size();
+  }
+  apply_to(objects_, rec);
+  history_bytes_ += rec.data.size();
+  history_.push_back(rec);
+}
+
+std::vector<StateEntry> SharedState::snapshot() const {
+  std::vector<StateEntry> out;
+  out.reserve(objects_.size());
+  for (const auto& [id, data] : objects_) out.push_back(StateEntry{id, data});
+  return out;
+}
+
+std::vector<StateEntry> SharedState::snapshot_of(
+    std::span<const ObjectId> ids) const {
+  std::vector<StateEntry> out;
+  for (ObjectId id : ids) {
+    auto it = objects_.find(id);
+    if (it != objects_.end()) out.push_back(StateEntry{id, it->second});
+  }
+  return out;
+}
+
+std::vector<UpdateRecord> SharedState::history() const {
+  return {history_.begin(), history_.end()};
+}
+
+std::vector<UpdateRecord> SharedState::last_n(std::size_t n) const {
+  const std::size_t take = std::min(n, history_.size());
+  return {history_.end() - static_cast<std::ptrdiff_t>(take), history_.end()};
+}
+
+std::vector<UpdateRecord> SharedState::last_n_of(std::span<const ObjectId> ids,
+                                                 std::size_t n) const {
+  std::vector<UpdateRecord> out;
+  for (auto it = history_.rbegin(); it != history_.rend() && out.size() < n;
+       ++it) {
+    if (std::find(ids.begin(), ids.end(), it->object) != ids.end()) {
+      out.push_back(*it);
+    }
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::vector<UpdateRecord> SharedState::since(SeqNo after) const {
+  std::vector<UpdateRecord> out;
+  for (const UpdateRecord& r : history_) {
+    if (r.seq > after) out.push_back(r);
+  }
+  return out;
+}
+
+const Bytes* SharedState::object(ObjectId id) const {
+  auto it = objects_.find(id);
+  return it != objects_.end() ? &it->second : nullptr;
+}
+
+std::size_t SharedState::reduce_to(SeqNo upto) {
+  upto = std::min(upto, head_seq_);
+  if (upto <= base_seq_) return 0;
+  std::size_t dropped = 0;
+  // Fold the dropped prefix into the base snapshot so the checkpoint stays
+  // "the consistent group state existing at that point" (§3.2).
+  while (!history_.empty() && history_.front().seq <= upto) {
+    apply_to(base_objects_, history_.front());
+    history_bytes_ -= history_.front().data.size();
+    history_.pop_front();
+    ++dropped;
+  }
+  base_seq_ = upto;
+  return dropped;
+}
+
+std::vector<StateEntry> SharedState::snapshot_at_base() const {
+  std::vector<StateEntry> out;
+  out.reserve(base_objects_.size());
+  for (const auto& [id, data] : base_objects_) {
+    out.push_back(StateEntry{id, data});
+  }
+  return out;
+}
+
+}  // namespace corona

@@ -1,0 +1,49 @@
+#include "core/state_transfer.h"
+
+namespace corona {
+
+std::size_t TransferContent::total_bytes() const {
+  std::size_t n = 0;
+  for (const StateEntry& s : snapshot) n += s.data.size();
+  for (const UpdateRecord& u : updates) n += u.data.size();
+  return n;
+}
+
+TransferContent build_transfer(const SharedState& state,
+                               const TransferPolicySpec& policy) {
+  TransferContent out;
+  switch (policy.mode) {
+    case TransferMode::kFullState:
+      // The consolidated streams already fold in the whole history, so the
+      // client is synchronized to the head and needs no update records.
+      out.snapshot = state.snapshot();
+      out.base_seq = state.head_seq();
+      break;
+
+    case TransferMode::kLastN: {
+      out.updates = state.last_n(policy.last_n);
+      out.base_seq = out.updates.empty() ? state.head_seq()
+                                         : out.updates.front().seq - 1;
+      break;
+    }
+
+    case TransferMode::kObjects:
+      out.snapshot = state.snapshot_of(policy.objects);
+      out.base_seq = state.head_seq();
+      break;
+
+    case TransferMode::kObjectsLastN: {
+      out.updates = state.last_n_of(policy.objects, policy.last_n);
+      out.base_seq = out.updates.empty() ? state.head_seq()
+                                         : out.updates.front().seq - 1;
+      break;
+    }
+
+    case TransferMode::kNothing:
+      out.base_seq = state.head_seq();
+      break;
+  }
+  return out;
+}
+
+}  // namespace corona

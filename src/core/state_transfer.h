@@ -1,0 +1,31 @@
+// Customized state transfer (paper §3.2).
+//
+// "Based on the speed of its connection to the server and application
+// characteristics, the client may request either to receive the whole state
+// of the group or the latest n updates to the state (for incremental
+// updates).  It may also request to be transferred only the state of certain
+// objects in the shared state of the group."
+//
+// build_transfer() turns a TransferPolicySpec plus the group's SharedState
+// into the content of a kJoinReply: a snapshot (consolidated object streams)
+// and/or a run of update records, with the base sequence number the client
+// should consider itself synchronized to.
+#pragma once
+
+#include "core/shared_state.h"
+#include "serial/message.h"
+
+namespace corona {
+
+struct TransferContent {
+  SeqNo base_seq = 0;  // client is synchronized to this seq after applying
+  std::vector<StateEntry> snapshot;
+  std::vector<UpdateRecord> updates;
+
+  std::size_t total_bytes() const;
+};
+
+TransferContent build_transfer(const SharedState& state,
+                               const TransferPolicySpec& policy);
+
+}  // namespace corona

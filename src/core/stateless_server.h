@@ -1,0 +1,45 @@
+// Stateless baseline server (paper §5.2, Figure 3's "stateless" curve).
+//
+// "We compared the performance of group broadcasts when the service
+// maintains shared state and when the service does not maintain shared
+// state" — where the stateless server "acts as a sequencer only".
+//
+// This class is a genuinely independent minimal implementation, not a
+// configuration of CoronaServer: it keeps only group membership (it must
+// know whom to multicast to), assigns sequence numbers, and forwards.  No
+// shared state, no log, no persistence, no locks, no state transfer —
+// a join returns an empty transfer.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "runtime/runtime.h"
+#include "serial/message.h"
+#include "util/ids.h"
+
+namespace corona {
+
+class StatelessServer : public Node {
+ public:
+  struct Stats {
+    std::uint64_t messages_sequenced = 0;
+    std::uint64_t deliveries_sent = 0;
+  };
+
+  void on_message(NodeId from, const Message& m) override;
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct GroupEntry {
+    std::map<NodeId, MemberRole> members;
+    SeqNo next_seq = 1;
+  };
+
+  void handle_bcast(NodeId from, const Message& m);
+
+  std::map<GroupId, GroupEntry> groups_;
+  Stats stats_;
+};
+
+}  // namespace corona

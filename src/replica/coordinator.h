@@ -1,0 +1,24 @@
+// Coordinator role of the replicated Corona service (paper §4.1).
+//
+// The coordinator-side state and handlers are members of ReplicaServer
+// (every server can be promoted by the election of §4.2); this header exists
+// as the documentation anchor for the coordinator protocol implemented in
+// coordinator.cc:
+//
+//   * global sequencing — "The coordinator acts as a sequencer for messages.
+//     A multicast message is assigned a unique sequence number, which
+//     increases monotonically and thus imposes a total order on multicast
+//     messages within a group."
+//   * fan-out restriction — "Only the servers who have members in that
+//     particular group will receive the broadcast message."
+//   * global membership, locks, persistence and log reduction;
+//   * heartbeats + the server registry;
+//   * hot-standby placement — at least `min_copies` leaf copies per group,
+//     with backup election when membership concentrates on one leaf;
+//   * takeover — after winning an election, pull the freshest state copy of
+//     every group from the surviving leaves;
+//   * partition reconciliation — digest exchange, fork-point discovery, and
+//     the three application policies of §4.2.
+#pragma once
+
+#include "replica/replica_server.h"

@@ -1,0 +1,29 @@
+#include "replica/election.h"
+
+namespace corona {
+
+void ElectionTally::start(std::uint64_t epoch, std::size_t remaining) {
+  epoch_ = epoch;
+  remaining_ = remaining;
+  acks_.clear();
+  nacks_.clear();
+  active_ = true;
+}
+
+void ElectionTally::vote(std::uint64_t epoch, NodeId voter, bool accept) {
+  if (!active_ || epoch != epoch_) return;
+  if (accept) {
+    if (!nacks_.contains(voter)) acks_.insert(voter);
+  } else {
+    acks_.erase(voter);
+    nacks_.insert(voter);
+  }
+}
+
+bool ElectionTally::won() const {
+  if (!active_ || !nacks_.empty()) return false;
+  // Claimant's own vote + acks must exceed half of the remaining servers.
+  return acks_.size() + 1 >= remaining_ / 2 + 1;
+}
+
+}  // namespace corona

@@ -1,0 +1,63 @@
+// Coordinator election (paper §4.2).
+//
+// "When the coordinator crashes, the first server in the list becomes the new
+// coordinator. ... The first server sends a message to all the other servers
+// and it assumes the role of coordinator when it receives acknowledgments
+// from half+1 of the remaining servers.  If the first server wrongfully
+// assumes that the coordinator is down, (some of) the other servers will
+// notice this and will respond with a nack. ... An increasing timeout
+// interval is allowed for each of the servers at the top of the list: the
+// first detects that the coordinator is down after time t, the second
+// detects that both the coordinator and the first are down after time 2t,
+// and so on."  A system of k+1 servers thus tolerates k simultaneous crashes.
+//
+// ElectionTally counts votes for one claim; claim_delay() computes the
+// staged timeout for a server's list position.
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "util/ids.h"
+#include "util/time.h"
+
+namespace corona {
+
+// Staged suspicion deadline for the server at `position` (0-based among the
+// non-coordinator servers): position 0 claims after `base`, position 1
+// after 2*base, ...
+constexpr Duration claim_delay(std::size_t position, Duration base) {
+  return static_cast<Duration>(position + 1) * base;
+}
+
+class ElectionTally {
+ public:
+  // `remaining` is the number of servers that survive the crashed
+  // coordinator, including the claimant itself.  Winning needs half+1 of
+  // them; the claimant's own (implicit) vote counts.
+  void start(std::uint64_t epoch, std::size_t remaining);
+
+  // Records a vote for the current epoch.  Votes for other epochs and
+  // duplicate voters are ignored.
+  void vote(std::uint64_t epoch, NodeId voter, bool accept);
+
+  std::uint64_t epoch() const { return epoch_; }
+  bool in_progress() const { return active_; }
+  std::size_t acks() const { return acks_.size(); }
+  std::size_t nacks() const { return nacks_.size(); }
+
+  // half+1 of remaining, counting the claimant.
+  bool won() const;
+  // A nack proves the old coordinator is alive somewhere: abandon.
+  bool lost() const { return active_ && !nacks_.empty(); }
+  void finish() { active_ = false; }
+
+ private:
+  std::uint64_t epoch_ = 0;
+  std::size_t remaining_ = 0;
+  std::set<NodeId> acks_;
+  std::set<NodeId> nacks_;
+  bool active_ = false;
+};
+
+}  // namespace corona

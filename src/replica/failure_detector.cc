@@ -1,0 +1,37 @@
+#include "replica/failure_detector.h"
+
+#include <algorithm>
+
+namespace corona {
+
+void FailureDetector::watch(NodeId peer, TimePoint now) {
+  last_heard_.emplace(peer, now);
+}
+
+void FailureDetector::unwatch(NodeId peer) { last_heard_.erase(peer); }
+
+void FailureDetector::heard_from(NodeId peer, TimePoint now) {
+  auto it = last_heard_.find(peer);
+  if (it != last_heard_.end()) it->second = now;
+}
+
+std::vector<NodeId> FailureDetector::suspects(TimePoint now) const {
+  std::vector<NodeId> out;
+  for (const auto& [peer, last] : last_heard_) {
+    if (now - last > timeout_) out.push_back(peer);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool FailureDetector::is_suspect(NodeId peer, TimePoint now) const {
+  auto it = last_heard_.find(peer);
+  return it != last_heard_.end() && now - it->second > timeout_;
+}
+
+Duration FailureDetector::silence(NodeId peer, TimePoint now) const {
+  auto it = last_heard_.find(peer);
+  return it != last_heard_.end() ? now - it->second : 0;
+}
+
+}  // namespace corona

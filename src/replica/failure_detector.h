@@ -1,0 +1,44 @@
+// Heartbeat-based failure detection (paper §4.2).
+//
+// "To detect failures, we use heartbeat messages between the coordinator and
+// the other servers and timeouts as upper bounds for communication delays."
+//
+// Passive component: the owner feeds in heard_from() on every message from a
+// watched peer and polls suspects() from its heartbeat timer.  Fail-stop
+// model — a suspect is treated as crashed.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "util/ids.h"
+#include "util/time.h"
+
+namespace corona {
+
+class FailureDetector {
+ public:
+  explicit FailureDetector(Duration timeout) : timeout_(timeout) {}
+
+  Duration timeout() const { return timeout_; }
+  void set_timeout(Duration t) { timeout_ = t; }
+
+  // Starts watching `peer`; the clock starts at `now`.
+  void watch(NodeId peer, TimePoint now);
+  void unwatch(NodeId peer);
+  bool is_watching(NodeId peer) const { return last_heard_.contains(peer); }
+
+  void heard_from(NodeId peer, TimePoint now);
+
+  // Peers silent for longer than the timeout, in id order.
+  std::vector<NodeId> suspects(TimePoint now) const;
+  bool is_suspect(NodeId peer, TimePoint now) const;
+  // Silence duration; 0 if not watched.
+  Duration silence(NodeId peer, TimePoint now) const;
+
+ private:
+  Duration timeout_;
+  std::unordered_map<NodeId, TimePoint> last_heard_;
+};
+
+}  // namespace corona

@@ -1,0 +1,117 @@
+#include "replica/partition.h"
+
+#include <algorithm>
+
+namespace corona {
+
+const char* partition_policy_name(PartitionPolicy p) {
+  switch (p) {
+    case PartitionPolicy::kRollback: return "rollback";
+    case PartitionPolicy::kSelectPrimary: return "select-primary";
+    case PartitionPolicy::kEvolveSeparately: return "evolve-separately";
+  }
+  return "?";
+}
+
+std::uint64_t record_digest(const UpdateRecord& rec) {
+  // FNV-1a over the record's identity and payload.  Not cryptographic —
+  // it distinguishes divergent histories, which is all reconciliation needs.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix(rec.seq);
+  mix(static_cast<std::uint64_t>(rec.kind));
+  mix(rec.object.value);
+  mix(rec.sender.value);
+  mix(rec.request_id);
+  for (std::uint8_t b : rec.data) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+BranchDigest make_branch_digest(const SharedState& state) {
+  BranchDigest d;
+  d.base_seq = state.base_seq();
+  for (const UpdateRecord& rec : state.history()) {
+    d.entries.emplace_back(rec.seq, record_digest(rec));
+  }
+  return d;
+}
+
+std::optional<SeqNo> find_fork_point(const BranchDigest& a,
+                                     const BranchDigest& b) {
+  // Records below the higher of the two checkpoint bases are unverifiable
+  // (one side reduced them away); the comparison starts there.  If the other
+  // side's retained history has a hole across that point — its newest record
+  // is still older than `start` while its base is lower — the histories
+  // never overlap and no fork point can be certified.
+  const SeqNo start = std::max(a.base_seq, b.base_seq);
+  const BranchDigest& lower = a.base_seq <= b.base_seq ? a : b;
+  if (lower.base_seq < start && !lower.entries.empty() &&
+      lower.entries.back().first < start) {
+    return std::nullopt;
+  }
+  auto after_start = [start](const BranchDigest& d) {
+    std::vector<std::pair<SeqNo, std::uint64_t>> out;
+    for (const auto& e : d.entries) {
+      if (e.first > start) out.push_back(e);
+    }
+    return out;
+  };
+  const auto ea = after_start(a);
+  const auto eb = after_start(b);
+  SeqNo agreed = start;
+  std::size_t i = 0;
+  while (i < ea.size() && i < eb.size()) {
+    if (ea[i].first != eb[i].first || ea[i].second != eb[i].second) break;
+    agreed = ea[i].first;
+    ++i;
+  }
+  return agreed;
+}
+
+Branch extract_branch(const SharedState& state, SeqNo fork) {
+  Branch b;
+  b.updates = state.since(fork);
+  return b;
+}
+
+ReconcileOutcome reconcile_branches(GroupId group, SeqNo fork, Branch branch_a,
+                                    Branch branch_b, PartitionPolicy policy,
+                                    bool primary_wins) {
+  ReconcileOutcome out;
+  out.policy = policy;
+  out.fork = fork;
+  switch (policy) {
+    case PartitionPolicy::kRollback:
+      // Both branches discarded; merged history is empty past the fork.
+      break;
+    case PartitionPolicy::kSelectPrimary:
+      out.merged_tail =
+          primary_wins ? std::move(branch_a.updates) : std::move(branch_b.updates);
+      break;
+    case PartitionPolicy::kEvolveSeparately:
+      out.merged_tail = std::move(branch_a.updates);
+      out.split_group = GroupId(group.value + kSplitGroupIdOffset);
+      out.split_tail = std::move(branch_b.updates);
+      break;
+  }
+  return out;
+}
+
+SharedState state_at(const SharedState& state, SeqNo fork) {
+  SharedState rebuilt;
+  rebuilt.load(state.base_seq(), state.snapshot_at_base());
+  for (const UpdateRecord& rec : state.history()) {
+    if (rec.seq <= fork) rebuilt.apply(rec);
+  }
+  return rebuilt;
+}
+
+}  // namespace corona

@@ -1,0 +1,93 @@
+// Network-partition reconciliation (paper §4.2).
+//
+// "In case of a network partition, there will ultimately exist two subsets
+// of the server set which run without having knowledge about each other. ...
+// When the network connectivity between the two subsets is re-established,
+// for each group the last globally consistent state is identified based on
+// the previous checkpoints and the sequence numbers assigned to the state
+// update messages.  The application is given the choice of either rolling
+// back to the consistent state, selecting one of the available updated
+// states or evolving as two different groups."
+//
+// This module is the pure reconciliation engine: digest-based fork-point
+// discovery plus the three application policies, operating on branch
+// histories extracted from the two coordinators.  The message plumbing lives
+// in coordinator/replica_server.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/shared_state.h"
+#include "serial/message.h"
+#include "util/ids.h"
+
+namespace corona {
+
+enum class PartitionPolicy : std::uint8_t {
+  kRollback = 0,     // discard both branches; state reverts to the fork point
+  kSelectPrimary,    // keep the primary branch; the other is discarded
+  kEvolveSeparately, // the secondary branch becomes a brand-new group
+};
+
+const char* partition_policy_name(PartitionPolicy p);
+
+// Offset added to a group id when kEvolveSeparately splits it.
+constexpr std::uint64_t kSplitGroupIdOffset = 1u << 20;
+
+// Order-sensitive digest of one sequenced record, used to find the fork
+// point: two branches agree on a prefix iff the (seq, digest) pairs match.
+std::uint64_t record_digest(const UpdateRecord& rec);
+
+struct BranchDigest {
+  // (seq, digest) pairs, ascending by seq, covering the branch's retained
+  // history (post base/checkpoint).
+  std::vector<std::pair<SeqNo, std::uint64_t>> entries;
+  SeqNo base_seq = 0;
+};
+
+BranchDigest make_branch_digest(const SharedState& state);
+
+// Highest seq on which both digests agree (the "last globally consistent
+// state"); base_seq if they diverge immediately.  nullopt when the digests'
+// retained ranges do not overlap enough to decide (reduction trimmed one
+// side past the other's base) — callers then fall back to the common
+// checkpoint base.
+std::optional<SeqNo> find_fork_point(const BranchDigest& a,
+                                     const BranchDigest& b);
+
+// One side's divergent suffix.
+struct Branch {
+  std::vector<UpdateRecord> updates;  // records with seq > fork, ascending
+};
+
+Branch extract_branch(const SharedState& state, SeqNo fork);
+
+// The outcome of reconciling one group.
+struct ReconcileOutcome {
+  PartitionPolicy policy;
+  SeqNo fork = 0;
+  // Authoritative post-merge history for the surviving group id: records to
+  // re-sequence after the fork point (empty for kRollback).
+  std::vector<UpdateRecord> merged_tail;
+  // For kEvolveSeparately: the new group id of the secondary branch and its
+  // records.
+  std::optional<GroupId> split_group;
+  std::vector<UpdateRecord> split_tail;
+};
+
+// Reconciles two branches of the same group.  `primary_wins` resolves
+// kSelectPrimary: true keeps branch A.  For kSelectPrimary the paper's
+// "selecting one of the available updated states" is decided by the
+// application; here the caller passes the decision.
+ReconcileOutcome reconcile_branches(GroupId group, SeqNo fork,
+                                    Branch branch_a, Branch branch_b,
+                                    PartitionPolicy policy,
+                                    bool primary_wins = true);
+
+// Rebuilds the state as of `fork` from a state whose retained history still
+// covers it: load the base snapshot, replay records with seq <= fork.
+SharedState state_at(const SharedState& state, SeqNo fork);
+
+}  // namespace corona

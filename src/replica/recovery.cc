@@ -1,0 +1,54 @@
+#include "replica/recovery.h"
+
+namespace corona {
+
+std::vector<std::uint64_t> encode_group_heads(
+    const std::vector<GroupHead>& v) {
+  std::vector<std::uint64_t> out;
+  out.reserve(v.size() * 2);
+  for (const GroupHead& gh : v) {
+    out.push_back(gh.group.value);
+    out.push_back(gh.head);
+  }
+  return out;
+}
+
+std::vector<GroupHead> decode_group_heads(
+    const std::vector<std::uint64_t>& u) {
+  std::vector<GroupHead> out;
+  out.reserve(u.size() / 2);
+  for (std::size_t i = 0; i + 1 < u.size(); i += 2) {
+    out.push_back(GroupHead{GroupId(u[i]), u[i + 1]});
+  }
+  return out;
+}
+
+std::map<GroupId, PullDirective> plan_takeover(
+    const std::map<NodeId, std::vector<GroupHead>>& reports,
+    const std::map<GroupId, SeqNo>& local_heads) {
+  // Freshest holder per group; std::map iteration makes ties deterministic
+  // (lowest server id seen first wins because later entries must be
+  // strictly fresher to replace it).
+  std::map<GroupId, PullDirective> best;
+  for (const auto& [server, heads] : reports) {
+    for (const GroupHead& gh : heads) {
+      auto it = best.find(gh.group);
+      if (it == best.end() || gh.head > it->second.remote_head) {
+        best[gh.group] = PullDirective{server, gh.head};
+      }
+    }
+  }
+  // Keep only groups where the best remote copy beats the local one.
+  std::map<GroupId, PullDirective> out;
+  for (const auto& [group, directive] : best) {
+    auto lit = local_heads.find(group);
+    const SeqNo local = lit != local_heads.end() ? lit->second : 0;
+    const bool known_locally = lit != local_heads.end();
+    if (!known_locally || directive.remote_head > local) {
+      out.emplace(group, directive);
+    }
+  }
+  return out;
+}
+
+}  // namespace corona

@@ -1,0 +1,49 @@
+// Crash-recovery planning (paper §4.2 / §6).
+//
+// Two recovery flows use this module:
+//
+//   * Coordinator takeover — a newly elected coordinator announces itself;
+//     every leaf replies with a hello that carries (group, head-seq) pairs
+//     for the state copies it holds.  plan_takeover() compares those against
+//     the new coordinator's own copies and decides which groups to pull, and
+//     from whom (the freshest holder).
+//
+//   * Restart from stable storage — a rebooted server recovers its durable
+//     checkpoint + flushed log; updates lost with the unflushed tail are
+//     re-fetched from the original senders ("the update message can be
+//     retrieved ... from the original sender of the message, based on the
+//     sequence number assigned to the message", §6) or, in the replicated
+//     configuration, from another holder via the same pull plan.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace corona {
+
+struct GroupHead {
+  GroupId group;
+  SeqNo head = 0;
+
+  friend bool operator==(const GroupHead&, const GroupHead&) = default;
+};
+
+// Wire helpers: (group, head) pairs travel in Message::u64s.
+std::vector<std::uint64_t> encode_group_heads(const std::vector<GroupHead>& v);
+std::vector<GroupHead> decode_group_heads(const std::vector<std::uint64_t>& u);
+
+struct PullDirective {
+  NodeId source;
+  SeqNo remote_head = 0;
+};
+
+// For every group some leaf knows about: pull from the freshest holder if
+// that holder is ahead of `local_heads` (groups absent locally count as
+// head 0).  Deterministic: ties go to the lowest server id.
+std::map<GroupId, PullDirective> plan_takeover(
+    const std::map<NodeId, std::vector<GroupHead>>& reports,
+    const std::map<GroupId, SeqNo>& local_heads);
+
+}  // namespace corona

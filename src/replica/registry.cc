@@ -1,0 +1,42 @@
+#include "replica/registry.h"
+
+#include <algorithm>
+
+namespace corona {
+
+void ServerRegistry::set_servers(std::vector<NodeId> ordered,
+                                 std::uint64_t epoch) {
+  // Stale lists (older epochs) are ignored; the coordinator's view wins.
+  if (epoch < epoch_) return;
+  servers_ = std::move(ordered);
+  epoch_ = epoch;
+}
+
+bool ServerRegistry::contains(NodeId id) const {
+  return std::find(servers_.begin(), servers_.end(), id) != servers_.end();
+}
+
+void ServerRegistry::add(NodeId id) {
+  if (!contains(id)) servers_.push_back(id);
+}
+
+void ServerRegistry::remove(NodeId id) {
+  servers_.erase(std::remove(servers_.begin(), servers_.end(), id),
+                 servers_.end());
+}
+
+std::optional<std::size_t> ServerRegistry::position_of(NodeId id) const {
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    if (servers_[i] == id) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<NodeId> ServerRegistry::first_excluding(NodeId excluding) const {
+  for (NodeId s : servers_) {
+    if (!(s == excluding)) return s;
+  }
+  return std::nullopt;
+}
+
+}  // namespace corona

@@ -1,0 +1,52 @@
+// Server registry (paper §4.2).
+//
+// "All the servers, including the coordinator, maintain a list (sorted in
+// the order the servers have been brought up) of the other servers ...  This
+// information is loaded at startup from the configuration files and it is
+// updated as a result of the changes (server joins or leaves) sent from the
+// coordinator to every server."
+//
+// Position in this list drives the election: "When the coordinator crashes,
+// the first server in the list becomes the new coordinator", with staged
+// timeouts down the list.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace corona {
+
+class ServerRegistry {
+ public:
+  ServerRegistry() = default;
+  // `ordered` is the startup-order configuration (coordinator first).
+  explicit ServerRegistry(std::vector<NodeId> ordered)
+      : servers_(std::move(ordered)) {}
+
+  void set_servers(std::vector<NodeId> ordered, std::uint64_t epoch);
+  const std::vector<NodeId>& servers() const { return servers_; }
+  std::uint64_t epoch() const { return epoch_; }
+
+  bool contains(NodeId id) const;
+  // Appends a newly started server (coordinator-side operation).
+  void add(NodeId id);
+  void remove(NodeId id);
+
+  // Zero-based position in startup order; nullopt if absent.
+  std::optional<std::size_t> position_of(NodeId id) const;
+  // First server in the list other than `excluding` (the crashed
+  // coordinator) — the election favourite.
+  std::optional<NodeId> first_excluding(NodeId excluding) const;
+  std::size_t size() const { return servers_.size(); }
+
+  void bump_epoch() { ++epoch_; }
+
+ private:
+  std::vector<NodeId> servers_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace corona

@@ -1,0 +1,701 @@
+// Leaf-side logic, message routing, and the election protocol.
+// Coordinator-side logic lives in coordinator.cc.
+#include "replica/replica_server.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/logging.h"
+
+namespace corona {
+
+ReplicaServer::ReplicaServer(ReplicaConfig cfg,
+                             std::vector<NodeId> startup_servers,
+                             GroupStore* store)
+    : cfg_(cfg),
+      registry_(std::move(startup_servers)),
+      coord_fd_(cfg.fd_timeout),
+      leaf_fd_(cfg.fd_timeout),
+      store_(store) {
+  assert(!registry_.servers().empty());
+  coordinator_ = registry_.servers().front();
+  if (store_ == nullptr) {
+    owned_store_ = std::make_unique<GroupStore>();
+    store_ = owned_store_.get();
+  }
+}
+
+ReplicaServer::~ReplicaServer() = default;
+
+void ReplicaServer::on_start() {
+  if (registry_.servers().front() == id()) {
+    become_coordinator(1);
+  } else {
+    adopt_coordinator(registry_.servers().front(), 1);
+  }
+  set_timer(cfg_.fd_timeout / 2, kCoordCheckTimer);
+}
+
+std::vector<GroupHead> ReplicaServer::local_group_heads() const {
+  std::vector<GroupHead> heads;
+  heads.reserve(local_.size());
+  for (const auto& [g, lg] : local_) {
+    heads.push_back(GroupHead{g, lg.state.head_seq()});
+  }
+  return heads;
+}
+
+void ReplicaServer::adopt_coordinator(NodeId coord, std::uint64_t term) {
+  role_ = Role::kLeaf;
+  coordinator_ = coord;
+  term_ = std::max(term_, term);
+  coord_fd_.unwatch(coordinator_);
+  coord_fd_.watch(coordinator_, now());
+  tally_.finish();
+
+  if (coord == id()) return;
+  // Register with the coordinator and report held state copies (used for
+  // coordinator takeover pulls).
+  Message hello;
+  hello.type = MsgType::kServerHello;
+  hello.epoch = term_;
+  hello.u64s = encode_group_heads(local_group_heads());
+  send(coordinator_, hello);
+
+  // Re-register every local member so a freshly elected coordinator can
+  // rebuild the global member->leaf map.  The sender_inclusive flag marks a
+  // silent re-registration: no membership notices are broadcast for it.
+  for (const auto& [g, lg] : local_) {
+    for (const auto& [client, info] : lg.local_members) {
+      Message op;
+      op.type = MsgType::kGroupOp;
+      op.fwd_type = MsgType::kJoin;
+      op.group = g;
+      op.sender = client;
+      op.origin_server = id();
+      op.role = info.role;
+      op.notify_membership = info.notify;
+      op.sender_inclusive = true;  // silent
+      send(coordinator_, op);
+    }
+  }
+}
+
+const SharedState* ReplicaServer::local_state(GroupId g) const {
+  auto it = local_.find(g);
+  return it != local_.end() ? &it->second.state : nullptr;
+}
+
+const SharedState* ReplicaServer::coord_state(GroupId g) const {
+  auto it = cgroups_.find(g);
+  return it != cgroups_.end() ? &it->second.state : nullptr;
+}
+
+std::vector<NodeId> ReplicaServer::coord_holders(GroupId g) const {
+  return repl_.holders(g);
+}
+
+// ---------------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------------
+
+void ReplicaServer::on_message(NodeId from, const Message& m) {
+  if (from == coordinator_) coord_fd_.heard_from(from, now());
+  if (is_coordinator()) leaf_fd_.heard_from(from, now());
+
+  switch (m.type) {
+    // ---- client protocol (leaf side) ----
+    case MsgType::kJoin: leaf_handle_join(from, m); break;
+    case MsgType::kLeave: leaf_handle_leave(from, m); break;
+    case MsgType::kBcastState:
+    case MsgType::kBcastUpdate: leaf_handle_bcast(from, m); break;
+    case MsgType::kCreateGroup:
+    case MsgType::kDeleteGroup:
+    case MsgType::kLockRequest:
+    case MsgType::kLockRelease:
+    case MsgType::kReduceLog: leaf_handle_client(from, m); break;
+    case MsgType::kGetMembership: {
+      auto it = local_.find(m.group);
+      if (it == local_.end()) {
+        send(from, make_reply(Status::error(Errc::kNotFound), m.request_id));
+        break;
+      }
+      Message info;
+      info.type = MsgType::kMembershipInfo;
+      info.group = m.group;
+      info.request_id = m.request_id;
+      for (const auto& [node, role] : it->second.global_members) {
+        info.members.push_back(MemberInfo{node, role});
+      }
+      send(from, info);
+      break;
+    }
+    case MsgType::kRetransmitReq: {
+      // From a peer server: serve from the coordinator's authoritative copy.
+      // From a client: serve from the leaf copy.
+      if (is_coordinator() && registry_.contains(from)) {
+        coord_handle_state_query(from, m);
+      } else {
+        auto it = local_.find(m.group);
+        if (it == local_.end()) break;
+        Message reply;
+        reply.type = MsgType::kStateReply;
+        reply.group = m.group;
+        const SharedState& st = it->second.state;
+        if (m.seq <= st.base_seq() && st.base_seq() > 0) {
+          reply.seq = st.head_seq();
+          reply.state = st.snapshot();
+        } else {
+          reply.seq = st.base_seq();
+          for (const UpdateRecord& u : st.since(m.seq - 1)) {
+            if (m.seq2 != 0 && u.seq > m.seq2) break;
+            reply.updates.push_back(u);
+          }
+        }
+        send(from, reply);
+      }
+      break;
+    }
+    case MsgType::kResendReply: {
+      // Client-side crash recovery resend: route to the sequencer.
+      if (is_coordinator()) {
+        coord_handle_resend(from, m);
+      } else {
+        Message fwd = m;
+        fwd.origin_server = id();
+        send(coordinator_, fwd);
+      }
+      break;
+    }
+
+    // ---- inter-server protocol ----
+    case MsgType::kServerHello: coord_handle_hello(from, m); break;
+    case MsgType::kFwdMulticast: coord_handle_fwd_multicast(from, m); break;
+    case MsgType::kGroupOp: coord_handle_group_op(from, m); break;
+    case MsgType::kGroupOpResult: leaf_handle_group_op_result(m); break;
+    case MsgType::kSeqMulticast: leaf_handle_seq_multicast(m); break;
+    case MsgType::kStateQuery: {
+      if (is_coordinator() && cgroups_.contains(m.group)) {
+        coord_handle_state_query(from, m);
+      } else if (local_.contains(m.group)) {
+        // Takeover pull served from a leaf copy.
+        const LocalGroup& lg = local_.at(m.group);
+        Message reply;
+        reply.type = MsgType::kStateReply;
+        reply.group = m.group;
+        reply.request_id = m.request_id;
+        reply.seq = lg.state.base_seq();
+        reply.state = lg.state.snapshot_at_base();
+        reply.updates = lg.state.history();
+        reply.text = lg.meta.name;
+        reply.persistent = lg.meta.persistent;
+        send(from, reply);
+      } else {
+        Message reply;
+        reply.type = MsgType::kStateReply;
+        reply.group = m.group;
+        reply.request_id = m.request_id;
+        reply.status = Errc::kNotFound;
+        send(from, reply);
+      }
+      break;
+    }
+    case MsgType::kStateReply: {
+      if (is_coordinator() && m.accept) {
+        // Authoritative post-reconciliation push from the other coordinator.
+        coord_handle_push(from, m);
+      } else if (is_coordinator() && pending_fwd_.contains(m.group)) {
+        // Reply to a takeover pull (coord_begin_takeover marked the group).
+        coord_handle_takeover_state(from, m);
+      } else {
+        // Leaf-side install / gap fill — also on a coordinator that serves
+        // local clients of its own.
+        leaf_handle_state_reply(from, m);
+      }
+      break;
+    }
+    case MsgType::kHeartbeat: {
+      if (from == coordinator_) {
+        send(from, make_heartbeat_ack(m.epoch));
+      } else if (m.epoch > term_ && !is_coordinator()) {
+        // A healed partition surfaced a coordinator with a newer term.
+        adopt_coordinator(from, m.epoch);
+        send(from, make_heartbeat_ack(m.epoch));
+      }
+      break;
+    }
+    case MsgType::kHeartbeatAck: coord_handle_heartbeat_ack(from, m); break;
+    case MsgType::kServerList:
+      registry_.set_servers(m.nodes, m.epoch);
+      break;
+    case MsgType::kElectionClaim: handle_claim(from, m); break;
+    case MsgType::kElectionVote: handle_vote(from, m); break;
+    case MsgType::kCoordAnnounce: handle_announce(from, m); break;
+    case MsgType::kBackupAssign: {
+      if (m.accept) {
+        if (!local_.contains(m.group)) leaf_request_state(m.group);
+      } else {
+        // Copy released: no local members and enough copies elsewhere.
+        auto it = local_.find(m.group);
+        if (it != local_.end() && it->second.local_members.empty()) {
+          local_.erase(it);
+        }
+      }
+      break;
+    }
+    case MsgType::kGroupDeleted: leaf_handle_group_deleted(m); break;
+    case MsgType::kLogReduced: leaf_handle_log_reduced(m); break;
+    case MsgType::kMembershipNotice: leaf_handle_notice(m); break;
+    case MsgType::kDigestRequest: coord_handle_digest_request(from, m); break;
+    case MsgType::kDigestReply: coord_handle_digest_reply(from, m); break;
+    default:
+      LOG_WARN("replica", "unexpected ", msg_type_name(m.type), " at ",
+               id().value);
+      break;
+  }
+}
+
+void ReplicaServer::on_timer(std::uint64_t tag) {
+  switch (tag) {
+    case kHeartbeatTimer:
+      if (is_coordinator()) {
+        coord_heartbeat_tick();
+        set_timer(cfg_.heartbeat_interval, kHeartbeatTimer);
+      }
+      break;
+    case kCoordCheckTimer:
+      if (!is_coordinator()) leaf_check_coordinator();
+      set_timer(cfg_.fd_timeout / 2, kCoordCheckTimer);
+      break;
+    case kElectionTimer:
+      if (tally_.in_progress()) {
+        // Quorum over responders: in a partition only same-side servers can
+        // answer, which is what lets both subsets "evolve separately"
+        // (§4.2).  Any nack aborts (the coordinator is alive somewhere), and
+        // winning needs at least one positive witness besides the claimant
+        // itself — unless the claimant genuinely is the only server left —
+        // so that slow links alone can never usurp a live coordinator.
+        const std::size_t responders = tally_.acks() + tally_.nacks() + 1;
+        const bool alone = registry_.size() <= 2;  // self + dead coordinator
+        if (tally_.nacks() == 0 && tally_.acks() + 1 > responders / 2 &&
+            (tally_.acks() >= 1 || alone)) {
+          become_coordinator(tally_.epoch());
+        }
+        tally_.finish();
+      }
+      break;
+    case kTakeoverTimer:
+      if (is_coordinator()) coord_begin_takeover();
+      break;
+    case kFlushTimer:
+      if (is_coordinator()) {
+        coord_flush_tick();
+        set_timer(cfg_.flush_interval, kFlushTimer);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Leaf: joins and state transfer
+// ---------------------------------------------------------------------------
+
+void ReplicaServer::leaf_request_state(GroupId g) {
+  if (!awaiting_state_.insert(g).second) return;
+  Message q;
+  q.type = MsgType::kStateQuery;
+  q.group = g;
+  q.origin_server = id();
+  ++stats_.state_pulls;
+  send(coordinator_, q);
+}
+
+void ReplicaServer::leaf_handle_join(NodeId from, const Message& m) {
+  auto it = local_.find(m.group);
+  if (it == local_.end()) {
+    pending_joins_[m.group].emplace_back(from, m);
+    leaf_request_state(m.group);
+    return;
+  }
+  leaf_serve_join(it->second, from, m);
+}
+
+void ReplicaServer::leaf_serve_join(LocalGroup& lg, NodeId client,
+                                    const Message& m) {
+  Message reply;
+  reply.type = MsgType::kJoinReply;
+  reply.group = m.group;
+  reply.request_id = m.request_id;
+
+  if (lg.local_members.contains(client)) {
+    reply.status = Errc::kAlreadyExists;
+    reply.text = "already a member";
+    send(client, reply);
+    return;
+  }
+  lg.local_members[client] = LocalMember{m.role, m.notify_membership};
+  lg.global_members[client] = m.role;
+
+  // Local-first join (§4.1): served entirely from the leaf's copy, without
+  // involving the existing members or waiting for the coordinator.
+  TransferContent t = build_transfer(lg.state, m.policy);
+  reply.seq = t.base_seq;
+  reply.state = std::move(t.snapshot);
+  reply.updates = std::move(t.updates);
+  for (const auto& [node, role] : lg.global_members) {
+    reply.members.push_back(MemberInfo{node, role});
+  }
+  send(client, reply);
+
+  forward_group_op(client, m);
+}
+
+void ReplicaServer::forward_group_op(NodeId client, const Message& m) {
+  Message op = m;
+  op.type = MsgType::kGroupOp;
+  op.fwd_type = m.type;
+  op.sender = client;
+  op.origin_server = id();
+  send(coordinator_, op);
+}
+
+void ReplicaServer::leaf_handle_leave(NodeId from, const Message& m) {
+  auto it = local_.find(m.group);
+  if (it == local_.end() || !it->second.local_members.contains(from)) {
+    send(from, make_reply(Status::error(Errc::kNotMember), m.request_id));
+    return;
+  }
+  it->second.local_members.erase(from);
+  it->second.global_members.erase(from);
+  send(from, make_reply(Status::ok(), m.request_id));
+  forward_group_op(from, m);
+}
+
+void ReplicaServer::leaf_handle_client(NodeId from, const Message& m) {
+  // Create/delete/locks/reduce are coordinator decisions; forward verbatim.
+  forward_group_op(from, m);
+}
+
+void ReplicaServer::leaf_handle_bcast(NodeId from, const Message& m) {
+  auto it = local_.find(m.group);
+  if (it == local_.end() || !it->second.local_members.contains(from)) {
+    send(from, make_reply(Status::error(Errc::kNotMember), m.request_id));
+    return;
+  }
+  Message fwd = m;
+  fwd.type = MsgType::kFwdMulticast;
+  fwd.fwd_type = m.type;
+  fwd.sender = from;
+  fwd.origin_server = id();
+  ++stats_.forwarded;
+  send(coordinator_, fwd);
+}
+
+// ---------------------------------------------------------------------------
+// Leaf: sequenced multicast fan-out
+// ---------------------------------------------------------------------------
+
+void ReplicaServer::leaf_handle_seq_multicast(const Message& m) {
+  auto it = local_.find(m.group);
+  if (it == local_.end()) return;  // copy released; stale fan-out
+  LocalGroup& lg = it->second;
+
+  UpdateRecord rec;
+  rec.seq = m.seq;
+  rec.kind = m.kind;
+  rec.object = m.object;
+  rec.data = m.payload;
+  rec.sender = m.sender;
+  rec.timestamp = m.timestamp;
+  rec.request_id = m.request_id;
+
+  const SeqNo expected = lg.state.head_seq() + 1;
+  if (rec.seq < expected) return;  // duplicate
+  if (rec.seq > expected) {
+    if (!lg.awaiting_fill) {
+      lg.awaiting_fill = true;
+      Message req;
+      req.type = MsgType::kRetransmitReq;
+      req.group = m.group;
+      req.seq = expected;
+      req.seq2 = rec.seq;
+      req.origin_server = id();
+      send(coordinator_, req);
+    }
+    return;
+  }
+  rt().charge_cpu(id(), cfg_.state_cpu_per_msg +
+                            static_cast<Duration>(cfg_.state_cpu_per_byte *
+                                                  double(rec.data.size())));
+  leaf_apply_and_fanout(lg, rec, m.sender_inclusive, m.sender);
+}
+
+void ReplicaServer::leaf_apply_and_fanout(LocalGroup& lg,
+                                          const UpdateRecord& rec,
+                                          bool sender_inclusive,
+                                          NodeId origin) {
+  lg.state.apply(rec);
+  const Message out = make_deliver(lg.meta.id, rec);
+  for (const auto& [member, info] : lg.local_members) {
+    if (!sender_inclusive && member == origin) continue;
+    send(member, out);
+    ++stats_.fanout_deliveries;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Leaf: state replies (installs, gap fills, authoritative pushes)
+// ---------------------------------------------------------------------------
+
+void ReplicaServer::leaf_install_state(GroupId g, const Message& m) {
+  LocalGroup lg;
+  lg.meta = GroupMeta{g, m.text, m.persistent};
+  lg.state.load(m.seq, m.state);
+  for (const UpdateRecord& u : m.updates) lg.state.apply(u);
+  auto [it, inserted] = local_.insert_or_assign(g, std::move(lg));
+  (void)inserted;
+}
+
+void ReplicaServer::leaf_handle_state_reply(NodeId from, const Message& m) {
+  (void)from;
+  const GroupId g = m.group;
+
+  if (m.status != Errc::kOk) {
+    awaiting_state_.erase(g);
+    // Reject any joins waiting on this group.
+    auto pit = pending_joins_.find(g);
+    if (pit != pending_joins_.end()) {
+      for (auto& [client, join] : pit->second) {
+        Message reply;
+        reply.type = MsgType::kJoinReply;
+        reply.group = g;
+        reply.request_id = join.request_id;
+        reply.status = m.status;
+        send(client, reply);
+      }
+      pending_joins_.erase(pit);
+    }
+    return;
+  }
+
+  if (m.accept) {
+    // Authoritative push (partition reconciliation): replace the copy and
+    // resynchronize local members with a full snapshot.
+    auto it = local_.find(g);
+    if (it == local_.end()) return;
+    auto members = std::move(it->second.local_members);
+    auto global = std::move(it->second.global_members);
+    leaf_install_state(g, m);
+    LocalGroup& lg = local_.at(g);
+    lg.local_members = std::move(members);
+    lg.global_members = std::move(global);
+    leaf_push_snapshot_to_members(lg);
+    return;
+  }
+
+  auto it = local_.find(g);
+  if (it == local_.end()) {
+    // Fresh install for pending joins / backup assignment.
+    awaiting_state_.erase(g);
+    leaf_install_state(g, m);
+    LocalGroup& lg = local_.at(g);
+    auto pit = pending_joins_.find(g);
+    if (pit != pending_joins_.end()) {
+      auto joins = std::move(pit->second);
+      pending_joins_.erase(pit);
+      for (auto& [client, join] : joins) leaf_serve_join(lg, client, join);
+    }
+    return;
+  }
+
+  // Gap fill: apply the missing records in order and fan them out.
+  LocalGroup& lg = it->second;
+  lg.awaiting_fill = false;
+  if (!m.state.empty()) {
+    // The gap was reduced away at the coordinator; reload wholesale.
+    auto members = std::move(lg.local_members);
+    auto global = std::move(lg.global_members);
+    leaf_install_state(g, m);
+    LocalGroup& fresh = local_.at(g);
+    fresh.local_members = std::move(members);
+    fresh.global_members = std::move(global);
+    leaf_push_snapshot_to_members(fresh);
+    return;
+  }
+  for (const UpdateRecord& u : m.updates) {
+    if (u.seq == lg.state.head_seq() + 1) {
+      leaf_apply_and_fanout(lg, u, /*sender_inclusive=*/true, u.sender);
+    }
+  }
+}
+
+void ReplicaServer::leaf_push_snapshot_to_members(LocalGroup& lg) {
+  Message push;
+  push.type = MsgType::kStateReply;
+  push.group = lg.meta.id;
+  push.seq = lg.state.head_seq();
+  push.state = lg.state.snapshot();
+  for (const auto& [member, info] : lg.local_members) {
+    send(member, push);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Leaf: notifications from the coordinator
+// ---------------------------------------------------------------------------
+
+void ReplicaServer::leaf_handle_notice(const Message& m) {
+  auto it = local_.find(m.group);
+  if (it == local_.end()) return;
+  LocalGroup& lg = it->second;
+  if (m.accept) {
+    lg.global_members[m.sender] = m.role;
+  } else {
+    lg.global_members.erase(m.sender);
+  }
+  for (const auto& [member, info] : lg.local_members) {
+    if (info.notify && !(member == m.sender)) send(member, m);
+  }
+}
+
+void ReplicaServer::leaf_handle_group_op_result(const Message& m) {
+  switch (m.fwd_type) {
+    case MsgType::kLockGrant: {
+      Message grant;
+      grant.type = MsgType::kLockGrant;
+      grant.group = m.group;
+      grant.object = m.object;
+      grant.request_id = m.request_id;
+      send(m.sender, grant);
+      break;
+    }
+    case MsgType::kReduceLog: {
+      Message done;
+      done.type = MsgType::kLogReduced;
+      done.group = m.group;
+      done.seq = m.seq;
+      done.request_id = m.request_id;
+      send(m.sender, done);
+      break;
+    }
+    case MsgType::kJoin:
+    case MsgType::kLeave:
+      // Already acknowledged local-first; a failed join at the coordinator
+      // (e.g. group deleted concurrently) surfaces as an error here.
+      if (m.status != Errc::kOk) {
+        send(m.sender, make_reply(Status{m.status, m.text}, m.request_id));
+      }
+      break;
+    default:
+      send(m.sender, make_reply(Status{m.status, m.text}, m.request_id));
+      break;
+  }
+}
+
+void ReplicaServer::leaf_handle_group_deleted(const Message& m) {
+  auto it = local_.find(m.group);
+  if (it == local_.end()) return;
+  Message note;
+  note.type = MsgType::kGroupDeleted;
+  note.group = m.group;
+  for (const auto& [member, info] : it->second.local_members) {
+    send(member, note);
+  }
+  local_.erase(it);
+  pending_joins_.erase(m.group);
+  awaiting_state_.erase(m.group);
+}
+
+void ReplicaServer::leaf_handle_log_reduced(const Message& m) {
+  auto it = local_.find(m.group);
+  if (it != local_.end()) it->second.state.reduce_to(m.seq);
+}
+
+// ---------------------------------------------------------------------------
+// Election (paper §4.2)
+// ---------------------------------------------------------------------------
+
+void ReplicaServer::leaf_check_coordinator() {
+  if (tally_.in_progress()) return;
+  // Position among the non-coordinator servers determines the staged
+  // timeout: first-in-list claims after t, second after 2t, ...
+  std::size_t position = 0;
+  for (NodeId s : registry_.servers()) {
+    if (s == coordinator_) continue;
+    if (s == id()) break;
+    ++position;
+  }
+  const Duration silence = coord_fd_.silence(coordinator_, now());
+  if (silence > claim_delay(position, cfg_.fd_timeout)) {
+    start_claim();
+  }
+}
+
+void ReplicaServer::start_claim() {
+  const std::uint64_t claim_term = std::max(term_, voted_term_) + 1;
+  const std::size_t remaining =
+      registry_.size() - (registry_.contains(coordinator_) ? 1 : 0);
+  tally_.start(claim_term, remaining);
+  voted_term_ = claim_term;
+  ++stats_.elections_started;
+  LOG_INFO("election", "server ", id().value, " claims term ", claim_term);
+  for (NodeId s : registry_.servers()) {
+    if (s == id()) continue;
+    send(s, make_election_claim(id(), claim_term));
+  }
+  set_timer(cfg_.election_window, kElectionTimer);
+}
+
+void ReplicaServer::handle_claim(NodeId from, const Message& m) {
+  bool accept;
+  if (is_coordinator()) {
+    // "If the first server wrongfully assumes that the coordinator is down,
+    // (some of) the other servers will notice this and will respond with a
+    // nack" — the strongest such witness is the coordinator itself.
+    accept = false;
+  } else if (m.epoch <= voted_term_ || m.epoch <= term_) {
+    accept = false;
+  } else {
+    accept = coord_fd_.is_suspect(coordinator_, now());
+    if (accept) voted_term_ = m.epoch;
+  }
+  send(from, make_election_vote(m.epoch, accept));
+}
+
+void ReplicaServer::handle_vote(NodeId from, const Message& m) {
+  if (!tally_.in_progress()) return;
+  tally_.vote(m.epoch, from, m.accept);
+  if (tally_.won()) {
+    const std::uint64_t t = tally_.epoch();
+    tally_.finish();
+    become_coordinator(t);
+  } else if (tally_.lost()) {
+    tally_.finish();
+  }
+}
+
+void ReplicaServer::handle_announce(NodeId from, const Message& m) {
+  if (m.epoch < term_) return;  // stale
+  if (is_coordinator() && !(from == id())) {
+    // A coordinator with a newer term absorbs this one (post-partition
+    // healing): demote, relay the announce to our side's servers so they
+    // follow, and re-register as a leaf.
+    if (m.epoch > term_) {
+      std::vector<NodeId> my_side = registry_.servers();
+      cgroups_.clear();
+      role_ = Role::kLeaf;
+      adopt_coordinator(m.sender, m.epoch);
+      for (NodeId s : my_side) {
+        if (!(s == id()) && !(s == m.sender)) send(s, m);
+      }
+    }
+    return;
+  }
+  if (!(coordinator_ == m.sender) || m.epoch > term_) {
+    adopt_coordinator(m.sender, m.epoch);
+  }
+}
+
+}  // namespace corona

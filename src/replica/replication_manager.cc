@@ -1,0 +1,89 @@
+#include "replica/replication_manager.h"
+
+#include <algorithm>
+
+namespace corona {
+
+void ReplicationManager::add_supporting_server(GroupId g, NodeId server) {
+  Copies& c = copies_[g];
+  c.supporting.insert(server);
+  // A member-driven copy subsumes a backup assignment.
+  c.backups.erase(server);
+}
+
+void ReplicationManager::remove_supporting_server(GroupId g, NodeId server) {
+  auto it = copies_.find(g);
+  if (it == copies_.end()) return;
+  it->second.supporting.erase(server);
+}
+
+void ReplicationManager::add_backup(GroupId g, NodeId server) {
+  Copies& c = copies_[g];
+  if (!c.supporting.contains(server)) c.backups.insert(server);
+}
+
+void ReplicationManager::remove_backup(GroupId g, NodeId server) {
+  auto it = copies_.find(g);
+  if (it == copies_.end()) return;
+  it->second.backups.erase(server);
+}
+
+void ReplicationManager::drop_group(GroupId g) { copies_.erase(g); }
+
+std::vector<GroupId> ReplicationManager::drop_server(NodeId server) {
+  std::vector<GroupId> reduced;
+  for (auto& [g, c] : copies_) {
+    const bool had = c.supporting.erase(server) + c.backups.erase(server) > 0;
+    if (had) reduced.push_back(g);
+  }
+  return reduced;
+}
+
+std::vector<NodeId> ReplicationManager::holders(GroupId g) const {
+  std::vector<NodeId> out;
+  auto it = copies_.find(g);
+  if (it == copies_.end()) return out;
+  out.assign(it->second.supporting.begin(), it->second.supporting.end());
+  for (NodeId b : it->second.backups) out.push_back(b);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool ReplicationManager::is_holder(GroupId g, NodeId server) const {
+  auto it = copies_.find(g);
+  if (it == copies_.end()) return false;
+  return it->second.supporting.contains(server) ||
+         it->second.backups.contains(server);
+}
+
+bool ReplicationManager::is_backup(GroupId g, NodeId server) const {
+  auto it = copies_.find(g);
+  return it != copies_.end() && it->second.backups.contains(server);
+}
+
+std::size_t ReplicationManager::copy_count(GroupId g) const {
+  auto it = copies_.find(g);
+  if (it == copies_.end()) return 0;
+  return it->second.supporting.size() + it->second.backups.size();
+}
+
+std::optional<NodeId> ReplicationManager::pick_backup(
+    GroupId g, const std::vector<NodeId>& candidates) const {
+  if (copy_count(g) >= min_copies_) return std::nullopt;
+  for (NodeId c : candidates) {
+    if (!is_holder(g, c)) return c;
+  }
+  return std::nullopt;
+}
+
+std::vector<NodeId> ReplicationManager::releasable_backups(GroupId g) const {
+  std::vector<NodeId> out;
+  auto it = copies_.find(g);
+  if (it == copies_.end()) return out;
+  if (it->second.supporting.size() >= min_copies_) {
+    out.assign(it->second.backups.begin(), it->second.backups.end());
+  }
+  return out;
+}
+
+}  // namespace corona

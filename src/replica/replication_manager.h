@@ -1,0 +1,65 @@
+// Coordinator-side replica placement (paper §4.1).
+//
+// "All the replicas who directly support some members of a group keep a copy
+// of the state for that group.  At least two copies of the state exist at
+// any moment, in order to provide a hot standby in the case of a server
+// crash. ... When there is only one replica which supports members of a
+// group, a backup is elected from one of the other servers."
+//
+// ReplicationManager tracks, per group, which leaf servers hold a state copy
+// and which of those are members-driven vs backup assignments, and answers
+// "does this group need a backup, and where should it go?".
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace corona {
+
+class ReplicationManager {
+ public:
+  // Minimum number of leaf copies to maintain (paper: 2).
+  explicit ReplicationManager(std::size_t min_copies = 2)
+      : min_copies_(min_copies) {}
+
+  // -- membership-driven copies ------------------------------------------------
+  void add_supporting_server(GroupId g, NodeId server);
+  void remove_supporting_server(GroupId g, NodeId server);
+  // -- backup copies ---------------------------------------------------------
+  void add_backup(GroupId g, NodeId server);
+  void remove_backup(GroupId g, NodeId server);
+
+  void drop_group(GroupId g);
+  // Removes `server` everywhere (server crash); returns the groups whose
+  // copy count was reduced (candidates for new backups).
+  std::vector<GroupId> drop_server(NodeId server);
+
+  // Every server holding a copy (supporting or backup), in id order.
+  std::vector<NodeId> holders(GroupId g) const;
+  bool is_holder(GroupId g, NodeId server) const;
+  bool is_backup(GroupId g, NodeId server) const;
+  std::size_t copy_count(GroupId g) const;
+
+  // If the group has fewer than min_copies holders, picks the first server
+  // from `candidates` (startup order) that holds no copy yet.
+  std::optional<NodeId> pick_backup(GroupId g,
+                                    const std::vector<NodeId>& candidates) const;
+
+  // A backup whose group regained enough member-driven copies can be
+  // released; returns such backups.
+  std::vector<NodeId> releasable_backups(GroupId g) const;
+
+ private:
+  struct Copies {
+    std::set<NodeId> supporting;
+    std::set<NodeId> backups;
+  };
+  std::map<GroupId, Copies> copies_;
+  std::size_t min_copies_;
+};
+
+}  // namespace corona

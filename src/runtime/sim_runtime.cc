@@ -1,0 +1,147 @@
+#include "runtime/sim_runtime.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace corona {
+
+SimRuntime::SimRuntime() = default;
+
+void SimRuntime::add_node(NodeId id, Node* node, HostId host) {
+  assert(node != nullptr);
+  assert(!nodes_.contains(id) && "node id already registered");
+  nodes_[id] = node;
+  network_.place(id, host);
+  node->bind(this, id);
+}
+
+void SimRuntime::start() {
+  // Schedule on_start in node-id order so startup is deterministic
+  // regardless of hash-map iteration order.
+  std::vector<NodeId> ids;
+  ids.reserve(nodes_.size());
+  for (const auto& [id, _] : nodes_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (NodeId id : ids) {
+    if (!started_.insert(id).second) continue;
+    Node* node = nodes_[id];
+    sim_.queue().schedule_after(0, [node] { node->on_start(); });
+  }
+}
+
+void SimRuntime::crash(NodeId id) {
+  network_.crash_node(id);
+  ++incarnation_[id];
+}
+
+void SimRuntime::restart(NodeId id, Node* fresh_node) {
+  assert(fresh_node != nullptr);
+  assert(nodes_.contains(id) && "restart of unknown node");
+  network_.restart_node(id);
+  ++incarnation_[id];
+  nodes_[id] = fresh_node;
+  fresh_node->bind(this, id);
+  const std::uint64_t inc = incarnation_[id];
+  sim_.queue().schedule_after(0, [this, id, inc] {
+    if (incarnation_[id] != inc || network_.is_crashed(id)) return;
+    nodes_[id]->on_start();
+  });
+}
+
+void SimRuntime::send(NodeId from, NodeId to, const Message& m) {
+  assert(nodes_.contains(to) && "send to unregistered node");
+  const Bytes wire = m.encode();
+  const auto arrival = network_.transmit(from, to, wire.size(), sim_.now());
+  if (!arrival) {
+    LOG_TRACE("sim", "dropped ", msg_type_name(m.type), " ", from.value,
+              " -> ", to.value);
+    return;
+  }
+  if (drop_filter_ && drop_filter_(from, to, m)) {
+    ++dropped_by_filter_;
+    return;
+  }
+  schedule_arrival(from, to, wire, *arrival);
+}
+
+void SimRuntime::schedule_arrival(NodeId from, NodeId to, Bytes wire,
+                                  TimePoint arrival) {
+  // Two-stage delivery: the receive-side CPU is booked when the message
+  // actually arrives, so receivers serialize in arrival order regardless of
+  // when senders issued their sends.
+  const std::uint64_t inc = incarnation_[to];
+  const std::size_t size = wire.size();
+  sim_.queue().schedule_at(
+      arrival, [this, from, to, wire = std::move(wire), inc, size] {
+        if (incarnation_[to] != inc || network_.is_crashed(to)) return;
+        const TimePoint deliver_at =
+            network_.book_receive(to, size, sim_.now());
+        sim_.queue().schedule_at(deliver_at, [this, from, to, wire, inc] {
+          if (incarnation_[to] != inc || network_.is_crashed(to)) return;
+          auto decoded = Message::decode(wire);
+          assert(decoded.is_ok() && "self-encoded message failed to decode");
+          nodes_[to]->on_message(from, decoded.value());
+        });
+      });
+}
+
+void SimRuntime::multicast(NodeId from, const std::vector<NodeId>& to,
+                           const Message& m) {
+  const Bytes wire = m.encode();
+  const auto arrivals =
+      network_.transmit_multicast(from, to, wire.size(), sim_.now());
+  for (std::size_t i = 0; i < to.size(); ++i) {
+    if (!arrivals[i]) continue;
+    const NodeId dest = to[i];
+    assert(nodes_.contains(dest) && "multicast to unregistered node");
+    if (drop_filter_ && drop_filter_(from, dest, m)) {
+      ++dropped_by_filter_;
+      continue;
+    }
+    schedule_arrival(from, dest, wire, *arrivals[i]);
+  }
+}
+
+TimerHandle SimRuntime::set_timer(NodeId owner, Duration delay,
+                                  std::uint64_t tag) {
+  const TimerHandle handle = next_timer_++;
+  const std::uint64_t inc = incarnation_[owner];
+  const EventQueue::EventId ev =
+      sim_.queue().schedule_after(delay, [this, owner, tag, handle, inc] {
+        timers_.erase(handle);
+        if (incarnation_[owner] != inc || network_.is_crashed(owner)) return;
+        nodes_[owner]->on_timer(tag);
+      });
+  timers_[handle] = TimerRecord{owner, ev};
+  return handle;
+}
+
+void SimRuntime::charge_cpu(NodeId node, Duration d) {
+  network_.charge_cpu(node, d, sim_.now());
+}
+
+TimePoint SimRuntime::disk_write(NodeId node, std::size_t bytes) {
+  auto [it, inserted] = disks_.try_emplace(node, DiskProfile{});
+  return it->second.write(bytes, sim_.now());
+}
+
+void SimRuntime::set_disk(NodeId node, DiskProfile profile) {
+  disks_.insert_or_assign(node, SimDisk(profile));
+}
+
+const SimDisk* SimRuntime::disk_of(NodeId node) const {
+  auto it = disks_.find(node);
+  return it != disks_.end() ? &it->second : nullptr;
+}
+
+void SimRuntime::cancel_timer(TimerHandle handle) {
+  auto it = timers_.find(handle);
+  if (it == timers_.end()) return;  // already fired or cancelled
+  sim_.queue().cancel(it->second.event);
+  timers_.erase(it);
+}
+
+}  // namespace corona

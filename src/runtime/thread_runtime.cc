@@ -1,0 +1,212 @@
+#include "runtime/thread_runtime.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+#include "util/logging.h"
+
+namespace corona {
+
+using std::chrono::microseconds;
+using std::chrono::steady_clock;
+
+ThreadRuntime::ThreadRuntime() : epoch_(steady_clock::now()) {}
+
+ThreadRuntime::~ThreadRuntime() { stop(); }
+
+void ThreadRuntime::add_node(NodeId id, Node* node) {
+  assert(!started_.load() && "add_node after start");
+  assert(node != nullptr);
+  auto w = std::make_unique<Worker>();
+  w->node = node;
+  w->start_pending = true;
+  node->bind(this, id);
+  auto [it, inserted] = workers_.emplace(id, std::move(w));
+  assert(inserted && "duplicate node id");
+  (void)it;
+  (void)inserted;
+}
+
+void ThreadRuntime::start() {
+  bool expected = false;
+  if (!started_.compare_exchange_strong(expected, true)) return;
+  for (auto& [id, w] : workers_) {
+    Worker* wp = w.get();
+    NodeId nid = id;
+    wp->thread = std::thread([this, nid, wp] { worker_loop(nid, *wp); });
+  }
+}
+
+void ThreadRuntime::stop() {
+  if (!started_.load()) return;
+  bool expected = false;
+  if (!stopped_.compare_exchange_strong(expected, true)) return;
+  for (auto& [id, w] : workers_) {
+    {
+      std::lock_guard<std::mutex> lock(w->mu);
+      w->stopping = true;
+    }
+    w->cv.notify_all();
+  }
+  for (auto& [id, w] : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+TimePoint ThreadRuntime::now() const {
+  return std::chrono::duration_cast<microseconds>(steady_clock::now() - epoch_)
+      .count();
+}
+
+void ThreadRuntime::send(NodeId from, NodeId to, const Message& m) {
+  {
+    std::lock_guard<std::mutex> lock(crash_mu_);
+    if (std::find(crashed_.begin(), crashed_.end(), from) != crashed_.end() ||
+        std::find(crashed_.begin(), crashed_.end(), to) != crashed_.end()) {
+      return;
+    }
+  }
+  auto it = workers_.find(to);
+  assert(it != workers_.end() && "send to unregistered node");
+  Worker& w = *it->second;
+  {
+    std::lock_guard<std::mutex> lock(w.mu);
+    if (w.stopping) return;
+    w.mailbox.push_back(Mail{from, m.encode()});
+  }
+  w.cv.notify_all();
+}
+
+TimerHandle ThreadRuntime::set_timer(NodeId owner, Duration delay,
+                                     std::uint64_t tag) {
+  auto it = workers_.find(owner);
+  assert(it != workers_.end());
+  Worker& w = *it->second;
+  const TimerHandle handle = next_timer_.fetch_add(1);
+  {
+    std::lock_guard<std::mutex> lock(w.mu);
+    w.timers.emplace(now() + delay, TimerEntry{handle, tag});
+  }
+  w.cv.notify_all();
+  return handle;
+}
+
+void ThreadRuntime::cancel_timer(TimerHandle handle) {
+  std::lock_guard<std::mutex> lock(cancel_mu_);
+  cancelled_.push_back(handle);
+}
+
+void ThreadRuntime::crash(NodeId id) {
+  std::lock_guard<std::mutex> lock(crash_mu_);
+  crashed_.push_back(id);
+}
+
+void ThreadRuntime::restore(NodeId id) {
+  std::lock_guard<std::mutex> lock(crash_mu_);
+  crashed_.erase(std::remove(crashed_.begin(), crashed_.end(), id),
+                 crashed_.end());
+}
+
+bool ThreadRuntime::wait_quiescent(Duration timeout) {
+  const auto deadline = steady_clock::now() + microseconds(timeout);
+  while (steady_clock::now() < deadline) {
+    bool quiet = true;
+    for (auto& [id, w] : workers_) {
+      std::lock_guard<std::mutex> lock(w->mu);
+      if (!w->mailbox.empty() || w->busy || w->start_pending) {
+        quiet = false;
+        break;
+      }
+    }
+    if (quiet) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return false;
+}
+
+void ThreadRuntime::worker_loop(NodeId id, Worker& w) {
+  // Run on_start on the worker thread so nodes never see foreign threads.
+  {
+    std::unique_lock<std::mutex> lock(w.mu);
+    w.busy = true;
+    lock.unlock();
+    w.node->on_start();
+    lock.lock();
+    w.busy = false;
+    w.start_pending = false;
+  }
+
+  while (true) {
+    Mail mail;
+    bool have_mail = false;
+    std::uint64_t timer_tag = 0;
+    bool have_timer = false;
+
+    {
+      std::unique_lock<std::mutex> lock(w.mu);
+      while (true) {
+        if (w.stopping) return;
+
+        // Expired timer?
+        if (!w.timers.empty() && w.timers.begin()->first <= now()) {
+          const TimerEntry entry = w.timers.begin()->second;
+          w.timers.erase(w.timers.begin());
+          bool is_cancelled = false;
+          {
+            std::lock_guard<std::mutex> clock_(cancel_mu_);
+            auto it = std::find(cancelled_.begin(), cancelled_.end(),
+                                entry.handle);
+            if (it != cancelled_.end()) {
+              cancelled_.erase(it);
+              is_cancelled = true;
+            }
+          }
+          if (is_cancelled) continue;
+          timer_tag = entry.tag;
+          have_timer = true;
+          w.busy = true;
+          break;
+        }
+
+        if (!w.mailbox.empty()) {
+          mail = std::move(w.mailbox.front());
+          w.mailbox.pop_front();
+          have_mail = true;
+          w.busy = true;
+          break;
+        }
+
+        if (w.timers.empty()) {
+          w.cv.wait(lock);
+        } else {
+          const Duration sleep_us = w.timers.begin()->first - now();
+          w.cv.wait_for(lock, microseconds(std::max<Duration>(sleep_us, 1)));
+        }
+      }
+    }
+
+    if (have_timer) {
+      w.node->on_timer(timer_tag);
+    } else if (have_mail) {
+      bool dropped;
+      {
+        std::lock_guard<std::mutex> lock(crash_mu_);
+        dropped = std::find(crashed_.begin(), crashed_.end(), id) !=
+                  crashed_.end();
+      }
+      if (!dropped) {
+        auto decoded = Message::decode(mail.wire);
+        assert(decoded.is_ok());
+        w.node->on_message(mail.from, decoded.value());
+      }
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(w.mu);
+      w.busy = false;
+    }
+  }
+}
+
+}  // namespace corona

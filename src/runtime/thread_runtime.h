@@ -1,0 +1,93 @@
+// Concurrent engine: one OS thread per node, bounded mailboxes, real clocks.
+//
+// Used by integration tests to run the exact same protocol code as the
+// simulator but under genuine concurrency — races in the protocol state
+// machines would surface here.  Each node's handlers run on that node's own
+// thread only, so Node subclasses stay single-threaded by construction
+// (the same guarantee the discrete-event engine gives).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/runtime.h"
+
+namespace corona {
+
+class ThreadRuntime : public Runtime {
+ public:
+  ThreadRuntime();
+  ~ThreadRuntime() override;
+
+  ThreadRuntime(const ThreadRuntime&) = delete;
+  ThreadRuntime& operator=(const ThreadRuntime&) = delete;
+
+  // Registration must finish before start().
+  void add_node(NodeId id, Node* node);
+
+  // Spawns one thread per node and runs every on_start.
+  void start();
+
+  // Drains mailboxes and joins all threads.  Safe to call twice.
+  void stop();
+
+  // Blocks until every mailbox is empty and every node is idle, or until
+  // `timeout` elapses.  Returns true if quiescent.  Pending timers do not
+  // count as work (they may be periodic heartbeats).
+  bool wait_quiescent(Duration timeout);
+
+  // Failure injection: messages to/from a "crashed" node are dropped; its
+  // thread keeps running but sees no further input.
+  void crash(NodeId id);
+  void restore(NodeId id);
+
+  // Runtime interface ------------------------------------------------------
+  TimePoint now() const override;
+  void send(NodeId from, NodeId to, const Message& m) override;
+  TimerHandle set_timer(NodeId owner, Duration delay,
+                        std::uint64_t tag) override;
+  void cancel_timer(TimerHandle handle) override;
+
+ private:
+  struct Mail {
+    NodeId from;
+    Bytes wire;
+  };
+  struct TimerEntry {
+    TimerHandle handle;
+    std::uint64_t tag;
+  };
+  struct Worker {
+    Node* node = nullptr;
+    std::thread thread;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Mail> mailbox;
+    // deadline -> timers, under mu.
+    std::multimap<TimePoint, TimerEntry> timers;
+    bool stopping = false;
+    bool busy = false;
+    bool start_pending = false;
+  };
+
+  void worker_loop(NodeId id, Worker& w);
+
+  std::unordered_map<NodeId, std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  std::mutex cancel_mu_;
+  std::vector<TimerHandle> cancelled_;
+  std::atomic<std::uint64_t> next_timer_{1};
+  std::mutex crash_mu_;
+  std::vector<NodeId> crashed_;
+};
+
+}  // namespace corona

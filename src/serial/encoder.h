@@ -1,0 +1,57 @@
+// Binary encoder: appends primitive values to a growing byte buffer.
+//
+// Wire format conventions (shared with Decoder):
+//   * u8           — one byte
+//   * u32/u64/i64  — LEB128 varint (zigzag for signed)
+//   * bytes/string — varint length prefix + raw bytes
+// The format is self-delimiting per field but not self-describing; both ends
+// share the schema in serial/message.h.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/bytes.h"
+
+namespace corona {
+
+class Encoder {
+ public:
+  Encoder() = default;
+
+  void put_u8(std::uint8_t v) { out_.push_back(v); }
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+  void put_u32(std::uint32_t v) { put_varint(v); }
+  void put_u64(std::uint64_t v) { put_varint(v); }
+  // Zigzag-encoded signed 64-bit (timestamps may legitimately be negative
+  // deltas in some records).
+  void put_i64(std::int64_t v) {
+    put_varint((static_cast<std::uint64_t>(v) << 1) ^
+               static_cast<std::uint64_t>(v >> 63));
+  }
+  void put_bytes(BytesView b) {
+    put_varint(b.size());
+    out_.insert(out_.end(), b.begin(), b.end());
+  }
+  void put_string(std::string_view s) {
+    put_varint(s.size());
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+
+  const Bytes& buffer() const { return out_; }
+  Bytes take() { return std::move(out_); }
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  void put_varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      out_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  Bytes out_;
+};
+
+}  // namespace corona

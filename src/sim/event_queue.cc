@@ -1,0 +1,38 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+
+namespace corona {
+
+EventQueue::EventId EventQueue::schedule_at(TimePoint at, Callback fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{std::max(at, now_), id, std::move(fn)});
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::is_cancelled(EventId id) const {
+  return std::find(cancelled_.begin(), cancelled_.end(), id) !=
+         cancelled_.end();
+}
+
+bool EventQueue::run_next() {
+  while (!heap_.empty()) {
+    // priority_queue::top is const; move out via const_cast-free copy of the
+    // callback only when we actually run it.
+    Entry e = heap_.top();
+    heap_.pop();
+    if (is_cancelled(e.id)) {
+      cancelled_.erase(std::find(cancelled_.begin(), cancelled_.end(), e.id));
+      --live_count_;
+      continue;
+    }
+    now_ = e.at;
+    --live_count_;
+    e.fn();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace corona

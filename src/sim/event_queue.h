@@ -1,0 +1,60 @@
+// Discrete-event queue: the heart of the deterministic simulator.
+//
+// Events fire in (time, insertion-order) order, so two events scheduled for
+// the same instant run in the order they were scheduled — this makes every
+// simulation bit-reproducible regardless of container iteration quirks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/time.h"
+
+namespace corona {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+  using EventId = std::uint64_t;
+
+  // Schedules `fn` at absolute virtual time `at` (clamped to now).
+  EventId schedule_at(TimePoint at, Callback fn);
+  EventId schedule_after(Duration delay, Callback fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  // Cancellation is lazy: the event stays queued but won't run.
+  void cancel(EventId id) { cancelled_.push_back(id); }
+
+  TimePoint now() const { return now_; }
+  bool empty() const { return live_count_ == 0; }
+  std::size_t pending() const { return live_count_; }
+
+  // Runs the next live event; returns false if none remain.
+  bool run_next();
+
+ private:
+  struct Entry {
+    TimePoint at;
+    EventId id;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;
+    }
+  };
+
+  bool is_cancelled(EventId id) const;
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::vector<EventId> cancelled_;
+  TimePoint now_ = 0;
+  EventId next_id_ = 1;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace corona

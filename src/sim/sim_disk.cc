@@ -1,0 +1,18 @@
+#include "sim/sim_disk.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace corona {
+
+TimePoint SimDisk::write(std::size_t size, TimePoint now) {
+  const TimePoint start = std::max(now, free_at_);
+  const auto xfer = static_cast<Duration>(std::llround(
+      static_cast<double>(size) / profile_.bytes_per_sec * 1e6));
+  free_at_ = start + profile_.per_op_us + xfer;
+  bytes_written_ += size;
+  ++ops_;
+  return free_at_;
+}
+
+}  // namespace corona

@@ -1,0 +1,46 @@
+// Simulated log device.
+//
+// The paper (§6) puts the typical 1998 disk at 3-5 MB/s and argues that
+// state logging stays off the multicast critical path because the service
+// "can multicast data to a group in parallel with disk logging".  This model
+// gives stable storage a timeline of its own: writes queue at the device and
+// complete at device speed, independently of host CPU time, so a bench can
+// compare asynchronous logging (completion ignored) with synchronous
+// flush-before-ack (completion awaited).
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.h"
+
+namespace corona {
+
+struct DiskProfile {
+  double bytes_per_sec = 4.0e6;  // paper: 3-5 MB/s
+  Duration per_op_us = 500;      // seek/rotational + syscall overhead
+
+  static DiskProfile nineties_disk() { return {}; }
+  static DiskProfile fast_raid() { return {40.0e6, 100}; }
+};
+
+class SimDisk {
+ public:
+  explicit SimDisk(DiskProfile profile = {}) : profile_(profile) {}
+
+  // Queues a write of `size` bytes issued at `now`; returns its completion
+  // time.  Writes serialize at the device.
+  TimePoint write(std::size_t size, TimePoint now);
+
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  std::uint64_t ops() const { return ops_; }
+  // Device-busy time ÷ wall time gives utilization; exposed for benches.
+  TimePoint busy_until() const { return free_at_; }
+
+ private:
+  DiskProfile profile_;
+  TimePoint free_at_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t ops_ = 0;
+};
+
+}  // namespace corona

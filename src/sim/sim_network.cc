@@ -1,0 +1,188 @@
+#include "sim/sim_network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace corona {
+
+HostProfile HostProfile::ultrasparc() {
+  // Calibrated so that a single stateful server multicasting 1000-byte
+  // messages to N clients shows the paper's Figure 3 shape: a few
+  // milliseconds of floor and a slope of roughly 2 ms per client,
+  // saturating near 600-900 KB/s aggregate (Table 1 / §5.2).
+  HostProfile p;
+  p.send_per_msg_us = 700.0;
+  p.send_per_byte_us = 0.55;
+  p.recv_per_msg_us = 250.0;
+  p.recv_per_byte_us = 0.15;
+  return p;
+}
+
+HostProfile HostProfile::pentium_ii_quad() {
+  // The NT box sustains visibly higher throughput in Table 1; model it as
+  // roughly 1.7x the UltraSparc on both fixed and per-byte costs.
+  HostProfile p;
+  p.send_per_msg_us = 400.0;
+  p.send_per_byte_us = 0.32;
+  p.recv_per_msg_us = 150.0;
+  p.recv_per_byte_us = 0.09;
+  return p;
+}
+
+HostProfile HostProfile::sparc20() {
+  HostProfile p;
+  p.send_per_msg_us = 900.0;
+  p.send_per_byte_us = 0.70;
+  p.recv_per_msg_us = 350.0;
+  p.recv_per_byte_us = 0.20;
+  return p;
+}
+
+Duration HostProfile::send_cost(std::size_t size) const {
+  return static_cast<Duration>(
+      std::llround(send_per_msg_us + send_per_byte_us * static_cast<double>(size)));
+}
+
+Duration HostProfile::recv_cost(std::size_t size) const {
+  return static_cast<Duration>(
+      std::llround(recv_per_msg_us + recv_per_byte_us * static_cast<double>(size)));
+}
+
+SimNetwork::SimNetwork() = default;
+
+HostId SimNetwork::add_host(const HostProfile& profile) {
+  hosts_.push_back(Host{profile, 0});
+  return HostId{static_cast<std::uint32_t>(hosts_.size() - 1)};
+}
+
+void SimNetwork::place(NodeId node, HostId host) {
+  assert(host.value < hosts_.size());
+  placement_[node] = host;
+}
+
+HostId SimNetwork::host_of(NodeId node) const {
+  auto it = placement_.find(node);
+  assert(it != placement_.end() && "node was never placed on a host");
+  return it->second;
+}
+
+void SimNetwork::set_latency(HostId a, HostId b, Duration latency) {
+  const auto key = [](HostId x, HostId y) {
+    return (static_cast<std::uint64_t>(x.value) << 32) | y.value;
+  };
+  pair_latency_[key(a, b)] = latency;
+  pair_latency_[key(b, a)] = latency;
+}
+
+Duration SimNetwork::latency_between(HostId a, HostId b) const {
+  if (a == b) return loopback_latency_;
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(a.value) << 32) | b.value;
+  auto it = pair_latency_.find(key);
+  return it != pair_latency_.end() ? it->second : default_latency_;
+}
+
+void SimNetwork::set_partition_cell(NodeId node, std::uint32_t cell) {
+  partition_cell_[node] = cell;
+}
+
+void SimNetwork::heal_partitions() { partition_cell_.clear(); }
+
+std::uint32_t SimNetwork::cell_of(NodeId node) const {
+  auto it = partition_cell_.find(node);
+  return it != partition_cell_.end() ? it->second : 0;
+}
+
+std::vector<std::optional<TimePoint>> SimNetwork::transmit_multicast(
+    NodeId from, const std::vector<NodeId>& to, std::size_t size,
+    TimePoint now) {
+  std::vector<std::optional<TimePoint>> out(to.size());
+  const HostId from_host = host_of(from);
+  Host& src = hosts_[from_host.value];
+
+  // One send cost, one copy on the wire.
+  const TimePoint cpu_start = std::max(now, src.tx_free_at);
+  const TimePoint wire_ready = cpu_start + src.profile.send_cost(size);
+  src.tx_free_at = wire_ready;
+  if (crashed_.contains(from)) return out;
+
+  TimePoint tx_end = wire_ready;
+  if (shared_bytes_per_sec_ > 0) {
+    const TimePoint tx_start = std::max(wire_ready, medium_free_at_);
+    const auto tx_time = static_cast<Duration>(std::llround(
+        static_cast<double>(size) / shared_bytes_per_sec_ * 1e6));
+    tx_end = tx_start + tx_time;
+    medium_free_at_ = tx_end;
+  }
+  bytes_sent_ += size;
+  ++messages_sent_;
+
+  for (std::size_t i = 0; i < to.size(); ++i) {
+    if (crashed_.contains(to[i]) || cell_of(from) != cell_of(to[i])) continue;
+    const HostId to_host = host_of(to[i]);
+    out[i] = (from_host == to_host ? wire_ready : tx_end) +
+             latency_between(from_host, to_host);
+  }
+  return out;
+}
+
+Duration SimNetwork::tx_backlog(NodeId node, TimePoint now) const {
+  const Host& h = hosts_[host_of(node).value];
+  return std::max<Duration>(0, h.tx_free_at - now);
+}
+
+Duration SimNetwork::rx_backlog(NodeId node, TimePoint now) const {
+  const Host& h = hosts_[host_of(node).value];
+  return std::max<Duration>(0, h.rx_free_at - now);
+}
+
+void SimNetwork::charge_cpu(NodeId node, Duration d, TimePoint now) {
+  Host& h = hosts_[host_of(node).value];
+  h.tx_free_at = std::max(now, h.tx_free_at) + d;
+}
+
+std::optional<TimePoint> SimNetwork::transmit(NodeId from, NodeId to,
+                                              std::size_t size,
+                                              TimePoint now) {
+  const HostId from_host = host_of(from);
+  const HostId to_host = host_of(to);
+  Host& src = hosts_[from_host.value];
+
+  // Sender CPU: serialized on the sending host's worker/send timeline.
+  // Paid even for lost sends.
+  const TimePoint cpu_start = std::max(now, src.tx_free_at);
+  const TimePoint wire_ready = cpu_start + src.profile.send_cost(size);
+  src.tx_free_at = wire_ready;
+
+  if (crashed_.contains(from) || crashed_.contains(to)) return std::nullopt;
+  if (cell_of(from) != cell_of(to)) return std::nullopt;
+
+  // Shared medium: transmissions serialize at the wire rate.  Loopback
+  // (same host) skips the wire.
+  TimePoint tx_end = wire_ready;
+  if (from_host != to_host && shared_bytes_per_sec_ > 0) {
+    const TimePoint tx_start = std::max(wire_ready, medium_free_at_);
+    const auto tx_time = static_cast<Duration>(std::llround(
+        static_cast<double>(size) / shared_bytes_per_sec_ * 1e6));
+    tx_end = tx_start + tx_time;
+    medium_free_at_ = tx_end;
+  }
+
+  const TimePoint arrival = tx_end + latency_between(from_host, to_host);
+
+  bytes_sent_ += size;
+  ++messages_sent_;
+  return arrival;
+}
+
+TimePoint SimNetwork::book_receive(NodeId to, std::size_t size,
+                                   TimePoint arrival) {
+  Host& dst = hosts_[host_of(to).value];
+  const TimePoint deliver_at =
+      std::max(arrival, dst.rx_free_at) + dst.profile.recv_cost(size);
+  dst.rx_free_at = deliver_at;
+  return deliver_at;
+}
+
+}  // namespace corona

@@ -1,0 +1,159 @@
+// Network + host model for the discrete-event engine.
+//
+// The paper's evaluation (§5.2) runs on a handful of workstations joined by
+// a 10 Mbps shared Ethernet, with the server multicasting via multiple
+// point-to-point TCP messages.  Three resources shape every curve there:
+//
+//   1. host CPU — the server serializes its N point-to-point sends, so
+//      round-trip latency to the last receiver grows linearly in N;
+//   2. the shared medium — aggregate throughput saturates near the wire rate;
+//   3. propagation latency — a constant floor.
+//
+// This model charges exactly those three resources.  Each host owns two CPU
+// timelines — a send/worker timeline and a receive timeline, modeling the
+// paper's multi-threaded server — and each message costs per-message +
+// per-byte CPU on both ends; transmissions serialize on an optional shared
+// medium; then a per-host-pair latency applies.  Receive capacity is booked
+// at the ARRIVAL instant (book_receive), so receivers serialize in true
+// arrival order.  Nodes are *placed* on hosts (many nodes per host, like the
+// paper's clients "uniformly distributed over 6 machines").
+//
+// Failure injection: crash/restart of nodes, link cuts, and named partitions
+// (every node is in a partition cell; traffic crosses cells only when the
+// network is healed).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/ids.h"
+#include "util/time.h"
+
+namespace corona {
+
+// Per-host CPU cost model, in microseconds.  Calibrated profiles approximate
+// the paper's machines; see bench/scenario.h for the calibration notes.
+struct HostProfile {
+  double send_per_msg_us = 50.0;
+  double send_per_byte_us = 0.02;
+  double recv_per_msg_us = 50.0;
+  double recv_per_byte_us = 0.02;
+
+  // "UltraSparc 1, 64 MB, Solaris" running the Java server (paper §5.2).
+  static HostProfile ultrasparc();
+  // "quad Pentium II 200, 256 MB, Windows NT" (paper Table 1).
+  static HostProfile pentium_ii_quad();
+  // Client workstation (Sparc 20 class).
+  static HostProfile sparc20();
+
+  // Effort to push one message of `size` bytes out of (or into) the host.
+  Duration send_cost(std::size_t size) const;
+  Duration recv_cost(std::size_t size) const;
+};
+
+struct HostId {
+  std::uint32_t value = 0;
+  friend bool operator==(HostId, HostId) = default;
+};
+
+class SimNetwork {
+ public:
+  SimNetwork();
+
+  // -- topology ------------------------------------------------------------
+  HostId add_host(const HostProfile& profile);
+  void place(NodeId node, HostId host);
+  HostId host_of(NodeId node) const;
+
+  // Propagation latency between distinct hosts (default 300 us, LAN-ish).
+  void set_default_latency(Duration latency) { default_latency_ = latency; }
+  // Override for one ordered host pair (applied symmetrically).
+  void set_latency(HostId a, HostId b, Duration latency);
+  // Loopback latency for nodes placed on the same host.
+  void set_loopback_latency(Duration latency) { loopback_latency_ = latency; }
+
+  // Shared-medium bandwidth in bytes per second; 0 disables the medium
+  // (infinite bandwidth).  10 Mbps Ethernet ~ 1.25e6 B/s.
+  void set_shared_bandwidth(double bytes_per_sec) {
+    shared_bytes_per_sec_ = bytes_per_sec;
+  }
+
+  // -- failure injection -----------------------------------------------------
+  void crash_node(NodeId node) { crashed_.insert(node); }
+  void restart_node(NodeId node) { crashed_.erase(node); }
+  bool is_crashed(NodeId node) const { return crashed_.contains(node); }
+
+  // Puts `node` into partition cell `cell`.  All nodes start in cell 0;
+  // traffic flows only within a cell.  heal() returns everyone to cell 0.
+  void set_partition_cell(NodeId node, std::uint32_t cell);
+  void heal_partitions();
+
+  // -- transmission ----------------------------------------------------------
+  // Computes the ARRIVAL time of a `size`-byte message sent at `now`
+  // (sender CPU + shared medium + propagation), advancing the sender-CPU
+  // and medium timelines.  Returns nullopt if the message is lost (crashed
+  // endpoint or partition cut) — note the sender still pays its CPU cost
+  // for a lost send, as a real sender would.  Receive-side CPU is booked
+  // separately via book_receive() AT the arrival instant, so receivers
+  // serialize in true arrival order (a backlogged sender elsewhere cannot
+  // reserve receive capacity ahead of traffic that arrives earlier).
+  std::optional<TimePoint> transmit(NodeId from, NodeId to, std::size_t size,
+                                    TimePoint now);
+
+  // Books `size` bytes of receive processing at `to`, starting no earlier
+  // than `arrival`; returns the delivery (processing-complete) time.
+  TimePoint book_receive(NodeId to, std::size_t size, TimePoint arrival);
+
+  // One-to-many transmission (IP-multicast model, paper §5.3): the sender
+  // pays ONE per-message send cost and the medium carries ONE copy; each
+  // receiver still pays its own receive cost and link latency.  Returns one
+  // ARRIVAL time (or nullopt for lost) per receiver, in order; receivers
+  // book their processing via book_receive at arrival.
+  std::vector<std::optional<TimePoint>> transmit_multicast(
+      NodeId from, const std::vector<NodeId>& to, std::size_t size,
+      TimePoint now);
+
+  // Occupies `node`'s host CPU for `d` starting no earlier than `now`
+  // (server-internal work such as state maintenance).
+  void charge_cpu(NodeId node, Duration d, TimePoint now);
+
+  // Accounting (total bytes accepted onto the wire).
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t messages_sent() const { return messages_sent_; }
+
+  // Diagnostics: how far ahead of `now` a node's host timelines are booked
+  // (the queueing backlog at that host).
+  Duration tx_backlog(NodeId node, TimePoint now) const;
+  Duration rx_backlog(NodeId node, TimePoint now) const;
+
+ private:
+  // Send-side and receive-side work occupy separate timelines, modeling
+  // the paper's multi-threaded server (a receive thread drains the socket
+  // while worker threads process and fan out).  Server-internal work
+  // (charge_cpu) shares the send/worker timeline.
+  struct Host {
+    HostProfile profile;
+    TimePoint tx_free_at = 0;
+    TimePoint rx_free_at = 0;
+  };
+
+  Duration latency_between(HostId a, HostId b) const;
+  std::uint32_t cell_of(NodeId node) const;
+
+  std::vector<Host> hosts_;
+  std::unordered_map<NodeId, HostId> placement_;
+  std::unordered_map<std::uint64_t, Duration> pair_latency_;  // key: a<<32|b
+  std::unordered_set<NodeId> crashed_;
+  std::unordered_map<NodeId, std::uint32_t> partition_cell_;
+  Duration default_latency_ = 300;  // us
+  Duration loopback_latency_ = 30;  // us
+  double shared_bytes_per_sec_ = 1.25e6;  // 10 Mbps Ethernet
+  TimePoint medium_free_at_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t messages_sent_ = 0;
+};
+
+}  // namespace corona

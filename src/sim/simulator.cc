@@ -1,0 +1,22 @@
+#include "sim/simulator.h"
+
+namespace corona {
+
+std::uint64_t Simulator::run_until_idle(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (n < max_events && queue_.run_next()) ++n;
+  return n;
+}
+
+std::uint64_t Simulator::run_until(TimePoint deadline) {
+  // A fence event at `deadline` guarantees virtual time reaches it and that
+  // no event scheduled later (or scheduled at the same instant but after the
+  // fence) executes.
+  std::uint64_t n = 0;
+  bool fence_hit = false;
+  queue_.schedule_at(deadline, [&fence_hit] { fence_hit = true; });
+  while (!fence_hit && queue_.run_next()) ++n;
+  return n > 0 ? n - 1 : 0;  // don't count the fence itself
+}
+
+}  // namespace corona

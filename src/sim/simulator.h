@@ -1,0 +1,31 @@
+// Simulator: run-loop policies over the event queue.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "sim/event_queue.h"
+#include "util/time.h"
+
+namespace corona {
+
+class Simulator {
+ public:
+  EventQueue& queue() { return queue_; }
+  TimePoint now() const { return queue_.now(); }
+
+  // Runs events until the queue drains or `max_events` fire.
+  // Returns the number of events executed.
+  std::uint64_t run_until_idle(
+      std::uint64_t max_events = std::numeric_limits<std::uint64_t>::max());
+
+  // Runs events with firing time <= `deadline`.  Virtual time does not
+  // advance past the deadline even if the queue still holds later events.
+  std::uint64_t run_until(TimePoint deadline);
+  std::uint64_t run_for(Duration d) { return run_until(now() + d); }
+
+ private:
+  EventQueue queue_;
+};
+
+}  // namespace corona

@@ -1,0 +1,56 @@
+#include "storage/checkpoint_store.h"
+
+#include <algorithm>
+
+namespace corona {
+
+void CheckpointStore::put(const std::string& key, Bytes blob) {
+  staged_[key] = Staged{Op::kPut, std::move(blob)};
+}
+
+void CheckpointStore::erase(const std::string& key) {
+  staged_[key] = Staged{Op::kErase, {}};
+}
+
+void CheckpointStore::flush() {
+  for (auto& [key, staged] : staged_) {
+    if (staged.op == Op::kPut) {
+      bytes_committed_ += staged.blob.size();
+      committed_[key] = std::move(staged.blob);
+    } else {
+      committed_.erase(key);
+    }
+  }
+  staged_.clear();
+}
+
+void CheckpointStore::crash() { staged_.clear(); }
+
+std::optional<Bytes> CheckpointStore::get(const std::string& key) const {
+  if (auto it = staged_.find(key); it != staged_.end()) {
+    if (it->second.op == Op::kErase) return std::nullopt;
+    return it->second.blob;
+  }
+  if (auto it = committed_.find(key); it != committed_.end()) {
+    return it->second;
+  }
+  return std::nullopt;
+}
+
+std::optional<Bytes> CheckpointStore::get_durable(
+    const std::string& key) const {
+  if (auto it = committed_.find(key); it != committed_.end()) {
+    return it->second;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> CheckpointStore::durable_keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(committed_.size());
+  for (const auto& [key, _] : committed_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace corona

@@ -1,0 +1,49 @@
+// Atomic checkpoint storage.
+//
+// A checkpoint write replaces the previous checkpoint for its key *atomically
+// at flush time* — a crash between put() and flush() leaves the old
+// checkpoint intact, never a torn mix.  (A real implementation gets this
+// from write-to-temp + rename; the in-memory model keeps staged and
+// committed maps.)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "util/bytes.h"
+
+namespace corona {
+
+class CheckpointStore {
+ public:
+  // Stages a checkpoint blob for `key`; durable after flush().
+  void put(const std::string& key, Bytes blob);
+  // Stages removal of `key`.
+  void erase(const std::string& key);
+
+  void flush();
+  void crash();
+
+  // Live view (what the running process reads back).
+  std::optional<Bytes> get(const std::string& key) const;
+  // Durable view (what recovery after a crash would see).
+  std::optional<Bytes> get_durable(const std::string& key) const;
+  std::vector<std::string> durable_keys() const;
+
+  std::uint64_t bytes_committed() const { return bytes_committed_; }
+
+ private:
+  enum class Op { kPut, kErase };
+  struct Staged {
+    Op op;
+    Bytes blob;
+  };
+
+  std::unordered_map<std::string, Bytes> committed_;
+  std::unordered_map<std::string, Staged> staged_;
+  std::uint64_t bytes_committed_ = 0;
+};
+
+}  // namespace corona

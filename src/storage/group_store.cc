@@ -1,0 +1,147 @@
+#include "storage/group_store.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "serial/decoder.h"
+#include "serial/encoder.h"
+
+namespace corona {
+
+std::string GroupStore::checkpoint_key(GroupId id) {
+  return "group/" + std::to_string(id.value);
+}
+
+Bytes GroupStore::encode_checkpoint(
+    const GroupMeta& meta, SeqNo base_seq,
+    const std::vector<StateEntry>& snapshot) const {
+  Encoder e;
+  e.put_u64(meta.id.value);
+  e.put_string(meta.name);
+  e.put_bool(meta.persistent);
+  e.put_u64(base_seq);
+  e.put_u32(static_cast<std::uint32_t>(snapshot.size()));
+  for (const StateEntry& s : snapshot) {
+    e.put_u64(s.object.value);
+    e.put_bytes(s.data);
+  }
+  return e.take();
+}
+
+void GroupStore::create_group(const GroupMeta& meta,
+                              const std::vector<StateEntry>& initial_state) {
+  assert(!groups_.contains(meta.id));
+  groups_.emplace(meta.id, PerGroup{meta, StableLog{}});
+  checkpoints_.put(checkpoint_key(meta.id),
+                   encode_checkpoint(meta, 0, initial_state));
+}
+
+void GroupStore::remove_group(GroupId id) {
+  groups_.erase(id);
+  checkpoints_.erase(checkpoint_key(id));
+}
+
+bool GroupStore::has_group(GroupId id) const { return groups_.contains(id); }
+
+void GroupStore::append_update(GroupId id, const UpdateRecord& update) {
+  auto it = groups_.find(id);
+  assert(it != groups_.end() && "append to unknown group");
+  it->second.log.append(encode_update_record(update));
+}
+
+void GroupStore::install_checkpoint(GroupId id, SeqNo base_seq,
+                                    const std::vector<StateEntry>& snapshot) {
+  auto it = groups_.find(id);
+  assert(it != groups_.end());
+  checkpoints_.put(checkpoint_key(id),
+                   encode_checkpoint(it->second.meta, base_seq, snapshot));
+  // Drop log records now covered by the checkpoint.
+  StableLog& log = it->second.log;
+  std::size_t covered = 0;
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    auto rec = decode_update_record(log.record(i));
+    if (!rec.is_ok() || rec.value().seq > base_seq) break;
+    ++covered;
+  }
+  log.drop_prefix(covered);
+}
+
+void GroupStore::flush() {
+  checkpoints_.flush();
+  for (auto& [id, g] : groups_) g.log.flush();
+}
+
+void GroupStore::crash() {
+  checkpoints_.crash();
+  for (auto& [id, g] : groups_) g.log.crash();
+  // Groups created but never flushed vanish entirely.
+  std::vector<GroupId> gone;
+  for (const auto& [id, g] : groups_) {
+    if (!checkpoints_.get_durable(checkpoint_key(id)).has_value()) {
+      gone.push_back(id);
+    }
+  }
+  for (GroupId id : gone) groups_.erase(id);
+}
+
+std::vector<RecoveredGroup> GroupStore::recover() const {
+  std::vector<RecoveredGroup> out;
+  for (const std::string& key : checkpoints_.durable_keys()) {
+    const auto blob = checkpoints_.get_durable(key);
+    if (!blob) continue;
+    Decoder d(*blob);
+    RecoveredGroup rg;
+    rg.meta.id = GroupId(d.get_u64());
+    rg.meta.name = d.get_string();
+    rg.meta.persistent = d.get_bool();
+    rg.base_seq = d.get_u64();
+    const std::uint32_t n = d.get_u32();
+    for (std::uint32_t i = 0; i < n && d.ok(); ++i) {
+      StateEntry s;
+      s.object = ObjectId(d.get_u64());
+      s.data = d.get_bytes();
+      rg.snapshot.push_back(std::move(s));
+    }
+    if (!d.ok()) continue;  // torn checkpoint cannot happen; skip defensively
+
+    auto git = groups_.find(rg.meta.id);
+    if (git != groups_.end()) {
+      const StableLog& log = git->second.log;
+      for (std::size_t i = 0; i < log.durable_size(); ++i) {
+        auto rec = decode_update_record(log.record(i));
+        if (rec.is_ok() && rec.value().seq > rg.base_seq) {
+          rg.updates.push_back(std::move(rec).value());
+        }
+      }
+    }
+    std::sort(rg.updates.begin(), rg.updates.end(),
+              [](const UpdateRecord& a, const UpdateRecord& b) {
+                return a.seq < b.seq;
+              });
+    out.push_back(std::move(rg));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RecoveredGroup& a, const RecoveredGroup& b) {
+              return a.meta.id < b.meta.id;
+            });
+  return out;
+}
+
+std::uint64_t GroupStore::pending_bytes() const {
+  std::uint64_t b = 0;
+  for (const auto& [id, g] : groups_) b += g.log.pending_bytes();
+  return b;
+}
+
+std::uint64_t GroupStore::log_records(GroupId id) const {
+  auto it = groups_.find(id);
+  return it != groups_.end() ? it->second.log.size() : 0;
+}
+
+std::uint64_t GroupStore::log_bytes() const {
+  std::uint64_t b = 0;
+  for (const auto& [id, g] : groups_) b += g.log.bytes_appended();
+  return b;
+}
+
+}  // namespace corona

@@ -1,0 +1,38 @@
+#include "storage/stable_log.h"
+
+#include <algorithm>
+
+namespace corona {
+
+void StableLog::append(Bytes record) {
+  bytes_appended_ += record.size();
+  records_.push_back(std::move(record));
+}
+
+void StableLog::flush() {
+  for (std::size_t i = durable_count_; i < records_.size(); ++i) {
+    bytes_flushed_ += records_[i].size();
+  }
+  durable_count_ = records_.size();
+}
+
+void StableLog::crash() {
+  records_.resize(durable_count_);
+}
+
+void StableLog::drop_prefix(std::size_t n) {
+  n = std::min(n, records_.size());
+  records_.erase(records_.begin(),
+                 records_.begin() + static_cast<std::ptrdiff_t>(n));
+  durable_count_ -= std::min(durable_count_, n);
+}
+
+std::uint64_t StableLog::pending_bytes() const {
+  std::uint64_t b = 0;
+  for (std::size_t i = durable_count_; i < records_.size(); ++i) {
+    b += records_[i].size();
+  }
+  return b;
+}
+
+}  // namespace corona

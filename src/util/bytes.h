@@ -1,0 +1,40 @@
+// Byte-buffer primitives shared across the code base.
+//
+// Corona treats every shared object as an opaque byte stream (paper §3.1:
+// "the state of a shared object is type-independent"), so a small, explicit
+// vocabulary for byte buffers keeps that opacity visible in signatures.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace corona {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+// Builds a byte buffer from character data; used heavily by examples and
+// tests that layer textual payloads on the opaque-object model.
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+// Interprets a byte buffer as character data. Only meaningful for payloads
+// the *application* knows are text; the service itself never does this.
+inline std::string to_string(BytesView b) {
+  return std::string(b.begin(), b.end());
+}
+
+// Payload of `n` bytes with a deterministic fill, for workload generators.
+inline Bytes filler_bytes(std::size_t n, std::uint8_t seed = 0x5a) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = static_cast<std::uint8_t>(seed + i * 131u);
+  }
+  return b;
+}
+
+}  // namespace corona

@@ -1,0 +1,93 @@
+// Strong identifier types.
+//
+// Every actor and artifact in the system gets its own integral id wrapper so
+// that a group id can never be passed where a node id is expected (Core
+// Guidelines P.1/P.4: express ideas directly in code; prefer static type
+// safety).  Ids are ordered and hashable so they can key standard containers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+
+namespace corona {
+
+namespace detail {
+
+// CRTP base for a totally-ordered, hashable integral id.
+template <typename Tag>
+struct StrongId {
+  std::uint64_t value = 0;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(std::uint64_t v) : value(v) {}
+
+  friend constexpr bool operator==(StrongId a, StrongId b) {
+    return a.value == b.value;
+  }
+  friend constexpr auto operator<=>(StrongId a, StrongId b) {
+    return a.value <=> b.value;
+  }
+};
+
+}  // namespace detail
+
+// A node is any protocol endpoint reachable through a Runtime: a client, a
+// server, or the coordinator.  Node ids are assigned by the harness that
+// builds the topology.
+struct NodeId : detail::StrongId<NodeId> {
+  using StrongId::StrongId;
+};
+
+// Communication group (paper §3.1: "a group represents the basic unit of
+// communication in Corona").
+struct GroupId : detail::StrongId<GroupId> {
+  using StrongId::StrongId;
+};
+
+// Identifier of a shared object within a group's shared state.
+struct ObjectId : detail::StrongId<ObjectId> {
+  using StrongId::StrongId;
+};
+
+// Per-group, monotonically increasing sequence number assigned by the
+// sequencer; defines the total order of multicasts in the group.
+using SeqNo = std::uint64_t;
+
+// Monotonic id for a client's outgoing requests, used to match replies and
+// to recover unflushed updates from the original sender (paper §6).
+using RequestId = std::uint64_t;
+
+inline std::ostream& operator<<(std::ostream& os, NodeId id) {
+  return os << "node:" << id.value;
+}
+inline std::ostream& operator<<(std::ostream& os, GroupId id) {
+  return os << "group:" << id.value;
+}
+inline std::ostream& operator<<(std::ostream& os, ObjectId id) {
+  return os << "obj:" << id.value;
+}
+
+}  // namespace corona
+
+namespace std {
+template <>
+struct hash<corona::NodeId> {
+  size_t operator()(corona::NodeId id) const noexcept {
+    return hash<uint64_t>{}(id.value);
+  }
+};
+template <>
+struct hash<corona::GroupId> {
+  size_t operator()(corona::GroupId id) const noexcept {
+    return hash<uint64_t>{}(id.value);
+  }
+};
+template <>
+struct hash<corona::ObjectId> {
+  size_t operator()(corona::ObjectId id) const noexcept {
+    return hash<uint64_t>{}(id.value);
+  }
+};
+}  // namespace std

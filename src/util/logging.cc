@@ -1,0 +1,43 @@
+#include "util/logging.h"
+
+#include <iostream>
+
+namespace corona {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_level(LogLevel level) {
+  std::lock_guard<std::mutex> lock(mu_);
+  level_ = level;
+}
+
+LogLevel Logger::level() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return level_;
+}
+
+namespace {
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void Logger::write(LogLevel level, const std::string& tag,
+                   const std::string& text) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  std::cerr << "[" << level_name(level) << "] " << tag << ": " << text << "\n";
+}
+
+}  // namespace corona

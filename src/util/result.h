@@ -1,0 +1,110 @@
+// Result<T>: value-or-error return type for the library surface.
+//
+// Corona is a service whose clients are expected to be unreliable and whose
+// operations routinely fail for non-exceptional reasons (group missing,
+// permission denied by the session manager, lock already held...).  Those are
+// ordinary outcomes, so they travel in the return value; exceptions are
+// reserved for programmer errors (contract violations).
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace corona {
+
+enum class Errc {
+  kOk = 0,
+  kNotFound,          // group / object / member does not exist
+  kAlreadyExists,     // create of an existing group
+  kNotMember,         // operation requires group membership
+  kPermissionDenied,  // rejected by the workspace session manager
+  kLockHeld,          // lock owned by another member
+  kInvalidArgument,
+  kDisconnected,  // endpoint not connected / peer unreachable
+  kCorrupt,       // storage record failed validation
+  kTimeout,
+  kUnavailable,  // e.g. no coordinator elected yet
+};
+
+inline const char* errc_name(Errc e) {
+  switch (e) {
+    case Errc::kOk: return "ok";
+    case Errc::kNotFound: return "not-found";
+    case Errc::kAlreadyExists: return "already-exists";
+    case Errc::kNotMember: return "not-member";
+    case Errc::kPermissionDenied: return "permission-denied";
+    case Errc::kLockHeld: return "lock-held";
+    case Errc::kInvalidArgument: return "invalid-argument";
+    case Errc::kDisconnected: return "disconnected";
+    case Errc::kCorrupt: return "corrupt";
+    case Errc::kTimeout: return "timeout";
+    case Errc::kUnavailable: return "unavailable";
+  }
+  return "unknown";
+}
+
+// Error code plus human-readable context.
+struct Status {
+  Errc code = Errc::kOk;
+  std::string detail;
+
+  static Status ok() { return {}; }
+  static Status error(Errc c, std::string d = {}) { return {c, std::move(d)}; }
+
+  bool is_ok() const { return code == Errc::kOk; }
+  explicit operator bool() const { return is_ok(); }
+
+  std::string to_string() const {
+    std::string s = errc_name(code);
+    if (!detail.empty()) {
+      s += ": ";
+      s += detail;
+    }
+    return s;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.to_string();
+}
+
+// Value-or-Status.  `value()` asserts success: callers check first.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.is_ok() && "ok Status carries no value; use Result(T)");
+  }
+
+  bool is_ok() const { return value_.has_value(); }
+  explicit operator bool() const { return is_ok(); }
+
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(is_ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(is_ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(is_ok());
+    return std::move(*value_);
+  }
+
+  T value_or(T fallback) const& {
+    return is_ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::ok();
+};
+
+}  // namespace corona

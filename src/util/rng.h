@@ -1,0 +1,56 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything in the simulator and in the workload generators must be
+// reproducible run-to-run, so all randomness flows through an explicitly
+// seeded generator — never std::random_device or global state.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace corona {
+
+// splitmix64: tiny, fast, and statistically fine for workload shaping.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    return next_u64() % bound;
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  std::uint64_t next_range(std::uint64_t lo, std::uint64_t hi) {
+    return lo + next_below(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  bool next_bool(double p_true) { return next_double() < p_true; }
+
+  // Exponentially distributed with the given mean (for Poisson arrivals).
+  double next_exponential(double mean);
+
+ private:
+  std::uint64_t state_;
+};
+
+inline double Rng::next_exponential(double mean) {
+  // Inverse-CDF; clamp away from 0 to avoid -inf.
+  double u = next_double();
+  if (u < 1e-12) u = 1e-12;
+  return -mean * std::log(u);
+}
+
+}  // namespace corona

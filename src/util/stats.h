@@ -1,0 +1,73 @@
+// Measurement accumulators used by the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+namespace corona {
+
+// Collects scalar samples (latencies, sizes) and reports summary statistics.
+// The paper reports means over 600 messages with a standard deviation of
+// 2-19% of the mean; this accumulator reproduces exactly those summaries.
+class LatencyStats {
+ public:
+  void add(double sample);
+
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  // p in [0,100]; nearest-rank on a sorted copy.
+  double percentile(double p) const;
+  // Standard deviation as a percentage of the mean (the paper's metric).
+  double stddev_pct_of_mean() const;
+
+  const std::vector<double>& samples() const { return samples_; }
+  void clear() { samples_.clear(); }
+
+ private:
+  std::vector<double> samples_;
+};
+
+// Aggregated-throughput meter: bytes delivered over a virtual-time window.
+class ThroughputMeter {
+ public:
+  void start(TimePoint now) { start_ = now; bytes_ = 0; messages_ = 0; }
+  void on_delivery(std::size_t bytes) { bytes_ += bytes; ++messages_; }
+  void stop(TimePoint now) { stop_ = now; }
+
+  std::uint64_t total_bytes() const { return bytes_; }
+  std::uint64_t total_messages() const { return messages_; }
+  Duration elapsed() const { return stop_ - start_; }
+  // Kilobytes (1000 B) per second of virtual time.
+  double kbytes_per_sec() const;
+  double messages_per_sec() const;
+
+ private:
+  TimePoint start_ = 0;
+  TimePoint stop_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t messages_ = 0;
+};
+
+// Fixed-width text table, used by every bench binary to print the paper's
+// tables and figure series in a uniform format.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  std::string to_string() const;
+
+  static std::string fmt(double v, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace corona

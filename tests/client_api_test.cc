@@ -1,0 +1,226 @@
+// Edge cases of the client-facing API surface that the protocol-flow tests
+// don't pin down: reply routing, duplicate operations, error paths, local
+// replica bookkeeping.
+#include <gtest/gtest.h>
+
+#include "harness.h"
+
+namespace corona {
+namespace {
+
+using testing::client_id;
+using testing::SingleServerWorld;
+
+const GroupId kG{1};
+const ObjectId kObj{1};
+
+struct ReplyRecorder {
+  std::vector<std::pair<RequestId, Status>> replies;
+  std::vector<std::pair<GroupId, Status>> joins;
+
+  CoronaClient::Callbacks callbacks() {
+    CoronaClient::Callbacks cb;
+    cb.on_reply = [this](RequestId rid, Status s) {
+      replies.emplace_back(rid, std::move(s));
+    };
+    cb.on_joined = [this](GroupId g, Status s) {
+      joins.emplace_back(g, std::move(s));
+    };
+    return cb;
+  }
+
+  const Status* status_for(RequestId rid) const {
+    for (const auto& [r, s] : replies) {
+      if (r == rid) return &s;
+    }
+    return nullptr;
+  }
+};
+
+TEST(ClientApi, RequestIdsAreMonotonic) {
+  SingleServerWorld w(1);
+  const RequestId a = w.client(0).create_group(kG, "g", false);
+  const RequestId b = w.client(0).join(kG);
+  const RequestId c = w.client(0).bcast_update(kG, kObj, to_bytes("x"));
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+}
+
+TEST(ClientApi, DuplicateJoinReportsAlreadyExists) {
+  ReplyRecorder rec;
+  SingleServerWorld w(1, ServerConfig{}, rec.callbacks());
+  w.client(0).create_group(kG, "g", false);
+  w.settle();
+  w.client(0).join(kG);
+  w.settle();
+  w.client(0).join(kG);
+  w.settle();
+  ASSERT_EQ(rec.joins.size(), 2u);
+  EXPECT_TRUE(rec.joins[0].second.is_ok());
+  EXPECT_EQ(rec.joins[1].second.code, Errc::kAlreadyExists);
+  // The first join's replica survives the rejected duplicate.
+  EXPECT_TRUE(w.client(0).is_joined(kG));
+}
+
+TEST(ClientApi, LeaveWithoutJoinReportsNotMember) {
+  ReplyRecorder rec;
+  SingleServerWorld w(1, ServerConfig{}, rec.callbacks());
+  w.client(0).create_group(kG, "g", false);
+  w.settle();
+  const RequestId rid = w.client(0).leave(kG);
+  w.settle();
+  const Status* s = rec.status_for(rid);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->code, Errc::kNotMember);
+}
+
+TEST(ClientApi, UnlockWithoutHoldingReportsError) {
+  ReplyRecorder rec;
+  SingleServerWorld w(1, ServerConfig{}, rec.callbacks());
+  w.client(0).create_group(kG, "g", false);
+  w.settle();
+  w.client(0).join(kG);
+  w.settle();
+  const RequestId rid = w.client(0).unlock(kG, kObj);
+  w.settle();
+  const Status* s = rec.status_for(rid);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->code, Errc::kNotFound);
+}
+
+TEST(ClientApi, ReduceLogConfirmedViaReplyCallback) {
+  ReplyRecorder rec;
+  SingleServerWorld w(1, ServerConfig{}, rec.callbacks());
+  w.client(0).create_group(kG, "g", true);
+  w.settle();
+  w.client(0).join(kG);
+  w.settle();
+  w.client(0).bcast_update(kG, kObj, to_bytes("x"));
+  w.settle();
+  const RequestId rid = w.client(0).reduce_log(kG);
+  w.settle();
+  const Status* s = rec.status_for(rid);
+  ASSERT_NE(s, nullptr);
+  EXPECT_TRUE(s->is_ok());
+}
+
+TEST(ClientApi, LeaveClearsLocalReplica) {
+  SingleServerWorld w(1);
+  w.client(0).create_group(kG, "g", true);
+  w.settle();
+  w.client(0).join(kG);
+  w.settle();
+  w.client(0).bcast_update(kG, kObj, to_bytes("x"));
+  w.settle();
+  ASSERT_NE(w.client(0).group_state(kG), nullptr);
+  w.client(0).leave(kG);
+  EXPECT_EQ(w.client(0).group_state(kG), nullptr);
+  EXPECT_FALSE(w.client(0).is_joined(kG));
+}
+
+TEST(ClientApi, StaleDeliveryAfterLeaveIgnored) {
+  SingleServerWorld w(2);
+  w.client(0).create_group(kG, "g", true);
+  w.settle();
+  w.client(0).join(kG);
+  w.client(1).join(kG);
+  w.settle();
+  // Client 1 leaves while a multicast is in flight toward it.
+  w.client(0).bcast_update(kG, kObj, to_bytes("in-flight"));
+  w.client(1).leave(kG);
+  w.settle();
+  EXPECT_EQ(w.client(1).group_state(kG), nullptr);  // no resurrection
+}
+
+TEST(ClientApi, ExpectedSeqTracksDeliveries) {
+  SingleServerWorld w(1);
+  w.client(0).create_group(kG, "g", true);
+  w.settle();
+  w.client(0).join(kG);
+  w.settle();
+  EXPECT_EQ(w.client(0).expected_seq(kG), 1u);
+  w.client(0).bcast_update(kG, kObj, to_bytes("x"));
+  w.client(0).bcast_update(kG, kObj, to_bytes("y"));
+  w.settle();
+  EXPECT_EQ(w.client(0).expected_seq(kG), 3u);
+  EXPECT_EQ(w.client(0).deliveries_received(), 2u);
+}
+
+TEST(ClientApi, KnownMembersTracksNoticesAndQueries) {
+  SingleServerWorld w(2);
+  w.client(0).create_group(kG, "g", true);
+  w.settle();
+  w.client(0).join(kG);  // subscribes to notices by default
+  w.settle();
+  EXPECT_EQ(w.client(0).known_members(kG).size(), 1u);
+  w.client(1).join(kG);
+  w.settle();
+  EXPECT_EQ(w.client(0).known_members(kG).size(), 2u);
+  w.client(1).leave(kG);
+  w.settle();
+  EXPECT_EQ(w.client(0).known_members(kG).size(), 1u);
+}
+
+TEST(ClientApi, ResendBufferIsBounded) {
+  CoronaClient::Config cfg;
+  cfg.resend_buffer = 4;
+  SimRuntime rt;
+  GroupStore store;
+  CoronaServer server(ServerConfig{}, &store);
+  rt.add_node(testing::kServerId, &server,
+              rt.network().add_host(HostProfile{}));
+  CoronaClient c(testing::kServerId, {}, cfg);
+  rt.add_node(client_id(0), &c, rt.network().add_host(HostProfile{}));
+  rt.start();
+  rt.run_for(50 * kMillisecond);
+  c.create_group(kG, "g", true);
+  rt.run_for(50 * kMillisecond);
+  c.join(kG);
+  rt.run_for(50 * kMillisecond);
+  for (int i = 0; i < 20; ++i) {
+    c.bcast_update(kG, kObj, to_bytes(std::to_string(i) + ";"));
+  }
+  rt.run_for(500 * kMillisecond);
+
+  // Wipe the group server-side and replay only the bounded buffer.
+  GroupStore store2;
+  // (simplest: crash/restart with an empty store to observe the resend set)
+  rt.crash(testing::kServerId);
+  CoronaServer fresh(ServerConfig{}, &store2);
+  rt.restart(testing::kServerId, &fresh);
+  rt.run_for(200 * kMillisecond);
+  c.create_group(kG, "g", true);
+  rt.run_for(100 * kMillisecond);
+  c.join(kG);
+  rt.run_for(100 * kMillisecond);
+  c.resend_recent(kG);
+  rt.run_for(500 * kMillisecond);
+  ASSERT_TRUE(fresh.has_group(kG));
+  // Only the last 4 sends were retained and replayed.
+  EXPECT_EQ(to_string(*fresh.group(kG)->state().object(kObj)),
+            "16;17;18;19;");
+}
+
+TEST(ClientApi, SenderExclusiveStillUpdatesOwnReplicaViaNoDelivery) {
+  // Sender-exclusive means the sender does NOT get the delivery, so its own
+  // replica intentionally lags until the next inclusive message arrives —
+  // the application chose not to be told.  Verify the lag and the catch-up.
+  SingleServerWorld w(2);
+  w.client(0).create_group(kG, "g", true);
+  w.settle();
+  w.client(0).join(kG);
+  w.client(1).join(kG);
+  w.settle();
+  w.client(0).bcast_update(kG, kObj, to_bytes("a"), /*sender_inclusive=*/false);
+  w.settle();
+  EXPECT_FALSE(w.client(0).group_state(kG)->has_object(kObj));
+  EXPECT_TRUE(w.client(1).group_state(kG)->has_object(kObj));
+  // The next inclusive delivery exposes the gap; retransmission catches the
+  // sender's replica up to the full stream.
+  w.client(0).bcast_update(kG, kObj, to_bytes("b"), /*sender_inclusive=*/true);
+  w.settle();
+  EXPECT_EQ(to_string(*w.client(0).group_state(kG)->object(kObj)), "ab");
+}
+
+}  // namespace
+}  // namespace corona

@@ -1,0 +1,174 @@
+// Client-failure tolerance (companion paper [15], §6: "client applications
+// ... crashed occasionally.  Maintaining the state of a group at the client
+// would have led to a state loss when the client crashed"): the server's
+// liveness sweep treats silent members as crashed, while idle-but-alive
+// clients stay members through keepalives.
+#include <gtest/gtest.h>
+
+#include "harness.h"
+
+namespace corona {
+namespace {
+
+using testing::client_id;
+using testing::kServerId;
+
+const GroupId kG{1};
+const ObjectId kObj{1};
+
+class ClientFailureWorld : public ::testing::Test {
+ protected:
+  SimRuntime rt;
+  GroupStore store;
+  std::unique_ptr<CoronaServer> server;
+  std::vector<std::unique_ptr<CoronaClient>> clients;
+  std::vector<std::pair<NodeId, bool>> notices;
+
+  void build(std::size_t n_clients, Duration client_timeout,
+             Duration heartbeat_interval) {
+    ServerConfig cfg;
+    cfg.client_timeout = client_timeout;
+    server = std::make_unique<CoronaServer>(std::move(cfg), &store);
+    rt.add_node(kServerId, server.get(), rt.network().add_host(HostProfile{}));
+    for (std::size_t i = 0; i < n_clients; ++i) {
+      CoronaClient::Callbacks cb;
+      cb.on_membership_change = [this](GroupId, NodeId who, MemberRole,
+                                       bool joined) {
+        notices.emplace_back(who, joined);
+      };
+      CoronaClient::Config ccfg;
+      ccfg.heartbeat_interval = heartbeat_interval;
+      clients.push_back(
+          std::make_unique<CoronaClient>(kServerId, cb, ccfg));
+      rt.add_node(client_id(i), clients.back().get(),
+                  rt.network().add_host(HostProfile{}));
+    }
+    rt.start();
+    rt.run_for(100 * kMillisecond);
+  }
+};
+
+TEST_F(ClientFailureWorld, CrashedClientIsSweptFromMembership) {
+  build(2, /*client_timeout=*/1 * kSecond, /*heartbeat=*/300 * kMillisecond);
+  clients[0]->create_group(kG, "g", true);
+  rt.run_for(100 * kMillisecond);
+  clients[0]->join(kG);
+  clients[1]->join(kG);
+  rt.run_for(200 * kMillisecond);
+  ASSERT_EQ(server->group(kG)->member_count(), 2u);
+
+  rt.crash(client_id(1));
+  rt.run_for(3 * kSecond);
+  EXPECT_EQ(server->group(kG)->member_count(), 1u);
+  EXPECT_EQ(server->stats().clients_expired, 1u);
+  // Client 0 was told about the departure.
+  bool saw_leave = false;
+  for (auto& [who, joined] : notices) {
+    if (who == client_id(1) && !joined) saw_leave = true;
+  }
+  EXPECT_TRUE(saw_leave);
+}
+
+TEST_F(ClientFailureWorld, IdleClientWithKeepalivesSurvives) {
+  build(1, /*client_timeout=*/1 * kSecond, /*heartbeat=*/300 * kMillisecond);
+  clients[0]->create_group(kG, "g", true);
+  rt.run_for(100 * kMillisecond);
+  clients[0]->join(kG);
+  rt.run_for(100 * kMillisecond);
+  // Ten seconds of silence except keepalives.
+  rt.run_for(10 * kSecond);
+  EXPECT_EQ(server->group(kG)->member_count(), 1u);
+  EXPECT_EQ(server->stats().clients_expired, 0u);
+}
+
+TEST_F(ClientFailureWorld, IdleClientWithoutKeepalivesExpires) {
+  build(1, /*client_timeout=*/1 * kSecond, /*heartbeat=*/0);
+  clients[0]->create_group(kG, "g", true);
+  rt.run_for(100 * kMillisecond);
+  clients[0]->join(kG);
+  rt.run_for(100 * kMillisecond);
+  rt.run_for(5 * kSecond);
+  EXPECT_EQ(server->group(kG)->member_count(), 0u);
+  EXPECT_EQ(server->stats().clients_expired, 1u);
+}
+
+TEST_F(ClientFailureWorld, CrashReleasesLocksToWaiters) {
+  build(2, /*client_timeout=*/1 * kSecond, /*heartbeat=*/300 * kMillisecond);
+  std::vector<NodeId> grants;
+  clients[1]->set_callbacks([&] {
+    CoronaClient::Callbacks cb;
+    cb.on_lock_granted = [&grants](GroupId, ObjectId) {
+      grants.push_back(client_id(1));
+    };
+    return cb;
+  }());
+  clients[0]->create_group(kG, "g", true);
+  rt.run_for(100 * kMillisecond);
+  clients[0]->join(kG);
+  clients[1]->join(kG);
+  rt.run_for(200 * kMillisecond);
+  clients[0]->lock(kG, kObj);
+  rt.run_for(100 * kMillisecond);
+  clients[1]->lock(kG, kObj);  // queues behind client 0
+  rt.run_for(100 * kMillisecond);
+  ASSERT_TRUE(grants.empty());
+
+  rt.crash(client_id(0));
+  rt.run_for(3 * kSecond);
+  // The crashed holder's lock migrated to the waiter.
+  EXPECT_EQ(grants, (std::vector<NodeId>{client_id(1)}));
+}
+
+TEST_F(ClientFailureWorld, TransientGroupCollectedWhenLastMemberCrashes) {
+  build(1, /*client_timeout=*/1 * kSecond, /*heartbeat=*/300 * kMillisecond);
+  clients[0]->create_group(kG, "g", /*persistent=*/false);
+  rt.run_for(100 * kMillisecond);
+  clients[0]->join(kG);
+  rt.run_for(100 * kMillisecond);
+  rt.crash(client_id(0));
+  rt.run_for(3 * kSecond);
+  EXPECT_FALSE(server->has_group(kG));
+}
+
+TEST_F(ClientFailureWorld, PersistentGroupSurvivesAllClientCrashes) {
+  build(2, /*client_timeout=*/1 * kSecond, /*heartbeat=*/300 * kMillisecond);
+  clients[0]->create_group(kG, "g", /*persistent=*/true);
+  rt.run_for(100 * kMillisecond);
+  clients[0]->join(kG);
+  clients[1]->join(kG);
+  rt.run_for(200 * kMillisecond);
+  clients[0]->bcast_update(kG, kObj, to_bytes("survives"));
+  rt.run_for(200 * kMillisecond);
+  rt.crash(client_id(0));
+  rt.crash(client_id(1));
+  rt.run_for(3 * kSecond);
+  ASSERT_TRUE(server->has_group(kG));
+  EXPECT_EQ(server->group(kG)->member_count(), 0u);
+  EXPECT_EQ(to_string(*server->group(kG)->state().object(kObj)), "survives");
+}
+
+TEST_F(ClientFailureWorld, ReconnectAfterCrashGetsFullState) {
+  build(2, /*client_timeout=*/1 * kSecond, /*heartbeat=*/300 * kMillisecond);
+  clients[0]->create_group(kG, "g", true);
+  rt.run_for(100 * kMillisecond);
+  clients[0]->join(kG);
+  clients[1]->join(kG);
+  rt.run_for(200 * kMillisecond);
+  clients[0]->bcast_update(kG, kObj, to_bytes("pre;"));
+  rt.run_for(200 * kMillisecond);
+
+  // Client 1 crashes; a fresh incarnation reconnects and rejoins.
+  rt.crash(client_id(1));
+  rt.run_for(3 * kSecond);
+  auto fresh = std::make_unique<CoronaClient>(kServerId);
+  rt.restart(client_id(1), fresh.get());
+  rt.run_for(100 * kMillisecond);
+  fresh->join(kG);
+  rt.run_for(300 * kMillisecond);
+  ASSERT_NE(fresh->group_state(kG), nullptr);
+  EXPECT_EQ(to_string(*fresh->group_state(kG)->object(kObj)), "pre;");
+  clients[1] = std::move(fresh);
+}
+
+}  // namespace
+}  // namespace corona

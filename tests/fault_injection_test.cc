@@ -1,0 +1,217 @@
+// Fault-injection tests: selective message loss via the SimRuntime drop
+// filter exercises the retransmission paths that a clean network never
+// touches — client gap detection (§3's reliability guarantee), leaf-side
+// gap fill in the replicated service, and the IP-multicast delivery path.
+#include <gtest/gtest.h>
+
+#include "harness.h"
+#include "util/rng.h"
+
+namespace corona {
+namespace {
+
+using testing::client_id;
+using testing::kServerId;
+using testing::ReplicatedWorld;
+using testing::SingleServerWorld;
+
+const GroupId kG{1};
+const ObjectId kObj{1};
+
+TEST(FaultInjection, ClientDetectsGapAndRetransmits) {
+  SingleServerWorld w(2);
+  w.client(0).create_group(kG, "g", true);
+  w.settle();
+  w.client(0).join(kG);
+  w.client(1).join(kG);
+  w.settle();
+
+  w.client(0).bcast_update(kG, kObj, to_bytes("one;"));
+  w.settle();
+
+  // Drop exactly one delivery to client 1.
+  bool dropped_one = false;
+  w.rt.set_drop_filter([&](NodeId, NodeId to, const Message& m) {
+    if (!dropped_one && to == client_id(1) && m.type == MsgType::kDeliver) {
+      dropped_one = true;
+      return true;
+    }
+    return false;
+  });
+  w.client(0).bcast_update(kG, kObj, to_bytes("two;"));
+  w.settle();
+  w.rt.clear_drop_filter();
+  ASSERT_TRUE(dropped_one);
+  EXPECT_EQ(w.rt.dropped_by_filter(), 1u);
+
+  // Client 1 is now one behind; the next delivery exposes the gap and the
+  // retransmission protocol repairs it in order.
+  w.client(0).bcast_update(kG, kObj, to_bytes("three;"));
+  w.settle();
+  const SharedState* st = w.client(1).group_state(kG);
+  ASSERT_NE(st, nullptr);
+  EXPECT_EQ(to_string(*st->object(kObj)), "one;two;three;");
+  EXPECT_GE(w.client(1).gaps_detected(), 1u);
+  EXPECT_GE(w.server->stats().retransmits_served, 1u);
+}
+
+TEST(FaultInjection, GapAcrossReducedHistoryReloadsSnapshot) {
+  SingleServerWorld w(2);
+  w.client(0).create_group(kG, "g", true);
+  w.settle();
+  w.client(0).join(kG);
+  w.client(1).join(kG);
+  w.settle();
+
+  // Lose a run of deliveries to client 1, then reduce the log past the gap.
+  w.rt.set_drop_filter([&](NodeId, NodeId to, const Message& m) {
+    return to == client_id(1) && m.type == MsgType::kDeliver;
+  });
+  for (int i = 0; i < 5; ++i) {
+    w.client(0).bcast_update(kG, kObj, to_bytes("x"));
+  }
+  w.settle();
+  w.rt.clear_drop_filter();
+  w.client(0).reduce_log(kG);
+  w.settle();
+
+  w.client(0).bcast_update(kG, kObj, to_bytes("y"));
+  w.settle();
+  // The requested range was reduced away; the server ships the consolidated
+  // snapshot instead and client 1 converges.
+  const SharedState* st = w.client(1).group_state(kG);
+  ASSERT_NE(st, nullptr);
+  EXPECT_EQ(to_string(*st->object(kObj)), "xxxxxy");
+}
+
+TEST(FaultInjection, LeafGapFillInReplicatedService) {
+  ReplicatedWorld w(3, 2);
+  w.client(0).create_group(kG, "g", true);
+  w.settle();
+  w.client(0).join(kG);
+  w.client(1).join(kG);
+  w.settle();
+
+  // Drop one sequenced multicast from the coordinator to leaf 2.
+  bool dropped_one = false;
+  w.rt.set_drop_filter([&](NodeId, NodeId to, const Message& m) {
+    if (!dropped_one && to == w.server_ids[2] &&
+        m.type == MsgType::kSeqMulticast) {
+      dropped_one = true;
+      return true;
+    }
+    return false;
+  });
+  w.client(0).bcast_update(kG, kObj, to_bytes("a;"));
+  w.settle();
+  w.rt.clear_drop_filter();
+  ASSERT_TRUE(dropped_one);
+
+  // The next multicast exposes the leaf's gap; it refetches from the
+  // coordinator and both the leaf copy and its client converge.
+  w.client(0).bcast_update(kG, kObj, to_bytes("b;"));
+  w.settle();
+  const SharedState* leaf_copy = w.leaf(2).local_state(kG);
+  ASSERT_NE(leaf_copy, nullptr);
+  EXPECT_EQ(to_string(*leaf_copy->object(kObj)), "a;b;");
+  const SharedState* st = w.client(1).group_state(kG);
+  ASSERT_NE(st, nullptr);
+  EXPECT_EQ(to_string(*st->object(kObj)), "a;b;");
+}
+
+TEST(FaultInjection, LossyLinkEventuallyConverges) {
+  // 30% loss on every kDeliver to client 1: repeated gap repair still
+  // reconstructs the exact stream.
+  SingleServerWorld w(2);
+  w.client(0).create_group(kG, "g", true);
+  w.settle();
+  w.client(0).join(kG);
+  w.client(1).join(kG);
+  w.settle();
+
+  Rng rng(42);
+  w.rt.set_drop_filter([&](NodeId, NodeId to, const Message& m) {
+    return to == client_id(1) && m.type == MsgType::kDeliver &&
+           rng.next_bool(0.3);
+  });
+  std::string expect;
+  for (int i = 0; i < 40; ++i) {
+    const std::string chunk = std::to_string(i) + ";";
+    expect += chunk;
+    w.client(0).bcast_update(kG, kObj, to_bytes(chunk));
+    if (i % 8 == 7) w.settle();
+  }
+  w.settle();
+  w.rt.clear_drop_filter();
+  // One clean delivery flushes any outstanding gap.
+  w.client(0).bcast_update(kG, kObj, to_bytes("end;"));
+  w.settle();
+  w.client(0).bcast_update(kG, kObj, to_bytes("fin;"));
+  w.settle();
+
+  const SharedState* st = w.client(1).group_state(kG);
+  ASSERT_NE(st, nullptr);
+  EXPECT_EQ(to_string(*st->object(kObj)), expect + "end;fin;");
+}
+
+TEST(FaultInjection, IpMulticastDeliversToAllMembers) {
+  ServerConfig cfg;
+  cfg.use_ip_multicast = true;
+  SingleServerWorld w(4, std::move(cfg));
+  w.client(0).create_group(kG, "g", true);
+  w.settle();
+  for (std::size_t i = 0; i < 4; ++i) w.client(i).join(kG);
+  w.settle();
+  w.client(0).bcast_update(kG, kObj, to_bytes("mc"));
+  w.settle();
+  for (std::size_t i = 0; i < 4; ++i) {
+    const SharedState* st = w.client(i).group_state(kG);
+    ASSERT_NE(st, nullptr) << i;
+    EXPECT_EQ(to_string(*st->object(kObj)), "mc") << i;
+  }
+  EXPECT_EQ(w.server->stats().deliveries_sent, 4u);
+}
+
+TEST(FaultInjection, IpMulticastRespectsSenderExclusive) {
+  ServerConfig cfg;
+  cfg.use_ip_multicast = true;
+  SingleServerWorld w(2, std::move(cfg));
+  w.client(0).create_group(kG, "g", true);
+  w.settle();
+  w.client(0).join(kG);
+  w.client(1).join(kG);
+  w.settle();
+  w.client(0).bcast_update(kG, kObj, to_bytes("x"), /*sender_inclusive=*/false);
+  w.settle();
+  EXPECT_EQ(w.client(0).deliveries_received(), 0u);
+  EXPECT_EQ(w.client(1).deliveries_received(), 1u);
+}
+
+TEST(FaultInjection, IpMulticastCheaperThanPointToPointAtServer) {
+  // Identical workloads; the multicast server's host finishes earlier.
+  auto run = [](bool mc) {
+    ServerConfig cfg;
+    cfg.use_ip_multicast = mc;
+    SingleServerWorld w(20, std::move(cfg));
+    w.client(0).create_group(kG, "g", true);
+    w.settle();
+    for (std::size_t i = 0; i < 20; ++i) {
+      w.client(i).join(kG, TransferPolicySpec::nothing(),
+                       MemberRole::kObserver, false);
+    }
+    w.settle();
+    const TimePoint before = w.rt.now();
+    w.client(0).bcast_update(kG, kObj, filler_bytes(1000));
+    // Time until the highest-id member applies it.
+    while (w.client(19).deliveries_received() == 0) {
+      w.rt.run_for(1 * kMillisecond);
+    }
+    return w.rt.now() - before;
+  };
+  const Duration p2p = run(false);
+  const Duration mcast = run(true);
+  EXPECT_LT(mcast, p2p / 2);
+}
+
+}  // namespace
+}  // namespace corona

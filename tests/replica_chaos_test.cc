@@ -1,0 +1,133 @@
+// Chaos soak: a long randomized workload over the replicated service with
+// leaf crashes, restarts, and client re-homing injected along the way.
+// After quiescence, every surviving member's consolidated state must equal
+// the coordinator's (the paper's whole premise: the *service*, not the
+// clients, owns the state).
+#include <gtest/gtest.h>
+
+#include "harness.h"
+#include "util/rng.h"
+
+namespace corona {
+namespace {
+
+using testing::client_id;
+using testing::server_id;
+
+const GroupId kG{1};
+
+struct ChaosParams {
+  int seed;
+  int rounds;
+  double crash_prob;
+};
+
+class ReplicaChaos : public ::testing::TestWithParam<ChaosParams> {};
+
+TEST_P(ReplicaChaos, SurvivorsConvergeToCoordinatorState) {
+  const auto p = GetParam();
+  Rng rng(static_cast<std::uint64_t>(p.seed) * 2654435761u + 1);
+
+  constexpr std::size_t kServers = 4;  // coordinator + 3 leaves
+  constexpr std::size_t kClients = 4;
+
+  SimRuntime rt;
+  std::vector<NodeId> ids;
+  for (std::size_t i = 0; i < kServers; ++i) ids.push_back(server_id(i));
+  ReplicaConfig cfg;
+  std::vector<std::unique_ptr<ReplicaServer>> servers;
+  std::vector<bool> leaf_up(kServers, true);
+  for (std::size_t i = 0; i < kServers; ++i) {
+    servers.push_back(std::make_unique<ReplicaServer>(cfg, ids));
+    rt.add_node(ids[i], servers[i].get(),
+                rt.network().add_host(HostProfile{}));
+  }
+  std::vector<std::unique_ptr<CoronaClient>> clients;
+  std::vector<std::size_t> homed_on(kClients);  // leaf index 1..3
+  for (std::size_t i = 0; i < kClients; ++i) {
+    homed_on[i] = 1 + i % (kServers - 1);
+    clients.push_back(std::make_unique<CoronaClient>(ids[homed_on[i]]));
+    rt.add_node(client_id(i), clients.back().get(),
+                rt.network().add_host(HostProfile{}));
+  }
+  rt.start();
+  rt.run_for(500 * kMillisecond);
+
+  clients[0]->create_group(kG, "chaos", true);
+  rt.run_for(500 * kMillisecond);
+  for (auto& c : clients) c->join(kG);
+  rt.run_for(1 * kSecond);
+
+  auto pick_live_leaf = [&]() -> std::size_t {
+    for (int tries = 0; tries < 16; ++tries) {
+      const std::size_t leaf = 1 + rng.next_below(kServers - 1);
+      if (leaf_up[leaf]) return leaf;
+    }
+    return 0;  // give up: home on the coordinator
+  };
+
+  for (int round = 0; round < p.rounds; ++round) {
+    // Random multicasts from random clients.
+    const std::size_t sender = rng.next_below(kClients);
+    clients[sender]->bcast_update(
+        kG, ObjectId{1 + rng.next_below(3)},
+        filler_bytes(1 + rng.next_below(48),
+                     static_cast<std::uint8_t>(rng.next_u64())));
+    rt.run_for(50 * kMillisecond);
+
+    // Occasionally crash or restart a leaf.
+    if (rng.next_bool(p.crash_prob)) {
+      const std::size_t leaf = 1 + rng.next_below(kServers - 1);
+      if (leaf_up[leaf]) {
+        rt.crash(ids[leaf]);
+        leaf_up[leaf] = false;
+        // Clients homed there migrate to a surviving leaf and rejoin.
+        rt.run_for(3 * kSecond);  // let the coordinator notice
+        for (std::size_t c = 0; c < kClients; ++c) {
+          if (homed_on[c] == leaf) {
+            homed_on[c] = pick_live_leaf();
+            clients[c]->set_server(ids[homed_on[c]]);
+            clients[c]->join(kG);
+          }
+        }
+        rt.run_for(1 * kSecond);
+      } else {
+        auto fresh = std::make_unique<ReplicaServer>(cfg, ids);
+        rt.restart(ids[leaf], fresh.get());
+        servers[leaf] = std::move(fresh);
+        leaf_up[leaf] = true;
+        rt.run_for(1 * kSecond);
+      }
+    }
+  }
+  rt.run_for(5 * kSecond);
+
+  // Convergence: coordinator state == every member's local replica.
+  const SharedState* coord = servers[0]->coord_state(kG);
+  ASSERT_NE(coord, nullptr);
+  const auto reference = coord->snapshot();
+  EXPECT_FALSE(reference.empty());
+  for (std::size_t c = 0; c < kClients; ++c) {
+    const SharedState* st = clients[c]->group_state(kG);
+    ASSERT_NE(st, nullptr) << "client " << c;
+    EXPECT_EQ(st->snapshot(), reference) << "client " << c;
+    EXPECT_EQ(st->head_seq(), coord->head_seq()) << "client " << c;
+  }
+  // Every live leaf copy converged too.
+  for (std::size_t leaf = 1; leaf < kServers; ++leaf) {
+    if (!leaf_up[leaf]) continue;
+    const SharedState* copy = servers[leaf]->local_state(kG);
+    if (copy != nullptr) {
+      EXPECT_EQ(copy->snapshot(), reference) << "leaf " << leaf;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, ReplicaChaos,
+    ::testing::Values(ChaosParams{1, 40, 0.08}, ChaosParams{2, 60, 0.05},
+                      ChaosParams{3, 40, 0.12}, ChaosParams{4, 80, 0.04},
+                      ChaosParams{5, 50, 0.10}));
+
+}  // namespace
+}  // namespace corona

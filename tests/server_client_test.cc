@@ -1,0 +1,576 @@
+// End-to-end tests of the single-server Corona service over the
+// deterministic engine: the full client protocol of paper §3.
+#include <gtest/gtest.h>
+
+#include "harness.h"
+
+namespace corona {
+namespace {
+
+using testing::client_id;
+using testing::DeliveryLog;
+using testing::kServerId;
+using testing::SingleServerWorld;
+
+const GroupId kG{1};
+const ObjectId kObj{1};
+
+TEST(ServerClient, CreateJoinBcastDeliver) {
+  SingleServerWorld w(2);
+  w.client(0).create_group(kG, "room", /*persistent=*/false);
+  w.settle();
+  w.client(0).join(kG);
+  w.client(1).join(kG);
+  w.settle();
+  w.client(0).bcast_update(kG, kObj, to_bytes("hello"));
+  w.settle();
+
+  // Both members (sender-inclusive) hold the update in their replicas.
+  for (int c : {0, 1}) {
+    const SharedState* st = w.client(c).group_state(kG);
+    ASSERT_NE(st, nullptr) << c;
+    ASSERT_TRUE(st->has_object(kObj)) << c;
+    EXPECT_EQ(to_string(*st->object(kObj)), "hello") << c;
+  }
+  EXPECT_EQ(w.server->stats().messages_sequenced, 1u);
+  EXPECT_EQ(w.server->stats().deliveries_sent, 2u);
+}
+
+TEST(ServerClient, CreateDuplicateGroupRejected) {
+  std::vector<std::pair<RequestId, Status>> replies;
+  CoronaClient::Callbacks cb;
+  cb.on_reply = [&](RequestId rid, Status s) { replies.emplace_back(rid, s); };
+  SingleServerWorld w(1, ServerConfig{}, cb);
+  w.client(0).create_group(kG, "a", false);
+  w.settle();
+  const RequestId rid = w.client(0).create_group(kG, "b", false);
+  w.settle();
+  ASSERT_FALSE(replies.empty());
+  bool found = false;
+  for (auto& [r, s] : replies) {
+    if (r == rid) {
+      found = true;
+      EXPECT_EQ(s.code, Errc::kAlreadyExists);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ServerClient, JoinNonexistentGroupFails) {
+  std::vector<Status> join_status;
+  CoronaClient::Callbacks cb;
+  cb.on_joined = [&](GroupId, Status s) { join_status.push_back(s); };
+  SingleServerWorld w(1, ServerConfig{}, cb);
+  w.client(0).join(GroupId{99});
+  w.settle();
+  ASSERT_EQ(join_status.size(), 1u);
+  EXPECT_EQ(join_status[0].code, Errc::kNotFound);
+  EXPECT_FALSE(w.client(0).is_joined(GroupId{99}));
+}
+
+TEST(ServerClient, BcastFromNonMemberRejected) {
+  std::vector<Status> replies;
+  CoronaClient::Callbacks cb;
+  cb.on_reply = [&](RequestId, Status s) { replies.push_back(s); };
+  SingleServerWorld w(1, ServerConfig{}, cb);
+  w.client(0).create_group(kG, "g", false);
+  w.settle();
+  w.client(0).bcast_update(kG, kObj, to_bytes("x"));
+  w.settle();
+  ASSERT_FALSE(replies.empty());
+  EXPECT_EQ(replies.back().code, Errc::kNotMember);
+  EXPECT_EQ(w.server->stats().messages_sequenced, 0u);
+}
+
+TEST(ServerClient, SenderExclusiveSkipsSender) {
+  DeliveryLog log;
+  SimRuntime rt;
+  GroupStore store;
+  CoronaServer server(ServerConfig{}, &store);
+  rt.add_node(kServerId, &server, rt.network().add_host(HostProfile{}));
+  CoronaClient c0(kServerId, log.callbacks_for(client_id(0)));
+  CoronaClient c1(kServerId, log.callbacks_for(client_id(1)));
+  rt.add_node(client_id(0), &c0, rt.network().add_host(HostProfile{}));
+  rt.add_node(client_id(1), &c1, rt.network().add_host(HostProfile{}));
+  rt.start();
+  rt.run_for(100 * kMillisecond);
+  c0.create_group(kG, "g", false);
+  rt.run_for(100 * kMillisecond);
+  c0.join(kG);
+  c1.join(kG);
+  rt.run_for(100 * kMillisecond);
+  c0.bcast_update(kG, kObj, to_bytes("x"), /*sender_inclusive=*/false);
+  rt.run_for(200 * kMillisecond);
+  EXPECT_TRUE(log.seqs_for(client_id(0)).empty());
+  EXPECT_EQ(log.seqs_for(client_id(1)).size(), 1u);
+}
+
+TEST(ServerClient, TotalOrderAcrossSenders) {
+  DeliveryLog log;
+  SimRuntime rt;
+  GroupStore store;
+  CoronaServer server(ServerConfig{}, &store);
+  rt.add_node(kServerId, &server, rt.network().add_host(HostProfile{}));
+  std::vector<std::unique_ptr<CoronaClient>> clients;
+  for (std::size_t i = 0; i < 4; ++i) {
+    clients.push_back(std::make_unique<CoronaClient>(
+        kServerId, log.callbacks_for(client_id(i))));
+    rt.add_node(client_id(i), clients.back().get(),
+                rt.network().add_host(HostProfile{}));
+  }
+  rt.start();
+  rt.run_for(50 * kMillisecond);
+  clients[0]->create_group(kG, "g", false);
+  rt.run_for(50 * kMillisecond);
+  for (auto& c : clients) c->join(kG);
+  rt.run_for(50 * kMillisecond);
+  // Interleaved sends from all clients.
+  for (int round = 0; round < 5; ++round) {
+    for (auto& c : clients) {
+      c->bcast_update(kG, kObj, to_bytes("m"));
+    }
+    rt.run_for(20 * kMillisecond);
+  }
+  rt.run_for(300 * kMillisecond);
+
+  // Every client received every message in the identical total order.
+  const auto ref = log.seqs_for(client_id(0));
+  EXPECT_EQ(ref.size(), 20u);
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(log.seqs_for(client_id(i)), ref) << "client " << i;
+  }
+  // And that order is gap-free ascending.
+  for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_EQ(ref[i], i + 1);
+}
+
+TEST(ServerClient, JoinTransfersFullState) {
+  SingleServerWorld w(2);
+  w.client(0).create_group(kG, "g", false,
+                           {StateEntry{kObj, to_bytes("INIT:")}});
+  w.settle();
+  w.client(0).join(kG);
+  w.settle();
+  w.client(0).bcast_update(kG, kObj, to_bytes("a"));
+  w.client(0).bcast_update(kG, kObj, to_bytes("b"));
+  w.settle();
+  // Late joiner receives the consolidated state.
+  w.client(1).join(kG, TransferPolicySpec::full());
+  w.settle();
+  const SharedState* st = w.client(1).group_state(kG);
+  ASSERT_NE(st, nullptr);
+  EXPECT_EQ(to_string(*st->object(kObj)), "INIT:ab");
+  // And subsequent updates continue seamlessly.
+  w.client(0).bcast_update(kG, kObj, to_bytes("c"));
+  w.settle();
+  EXPECT_EQ(to_string(*w.client(1).group_state(kG)->object(kObj)), "INIT:abc");
+}
+
+TEST(ServerClient, JoinTransfersLastN) {
+  DeliveryLog log;
+  SimRuntime rt;
+  GroupStore store;
+  CoronaServer server(ServerConfig{}, &store);
+  rt.add_node(kServerId, &server, rt.network().add_host(HostProfile{}));
+  CoronaClient c0(kServerId);
+  CoronaClient c1(kServerId);
+  rt.add_node(client_id(0), &c0, rt.network().add_host(HostProfile{}));
+  rt.add_node(client_id(1), &c1, rt.network().add_host(HostProfile{}));
+  rt.start();
+  rt.run_for(50 * kMillisecond);
+  c0.create_group(kG, "chat", false);
+  rt.run_for(50 * kMillisecond);
+  c0.join(kG);
+  rt.run_for(50 * kMillisecond);
+  for (int i = 0; i < 10; ++i) {
+    c0.bcast_update(kG, kObj, to_bytes("line" + std::to_string(i) + ";"));
+    rt.run_for(20 * kMillisecond);
+  }
+  c1.join(kG, TransferPolicySpec::last_n_updates(3));
+  rt.run_for(200 * kMillisecond);
+  const SharedState* st = c1.group_state(kG);
+  ASSERT_NE(st, nullptr);
+  // Only the last 3 lines were transferred.
+  EXPECT_EQ(to_string(*st->object(kObj)), "line7;line8;line9;");
+  EXPECT_EQ(st->history_size(), 3u);
+}
+
+TEST(ServerClient, JoinTransfersObjectSubset) {
+  SingleServerWorld w(2);
+  w.client(0).create_group(kG, "g", false);
+  w.settle();
+  w.client(0).join(kG);
+  w.settle();
+  w.client(0).bcast_state(kG, ObjectId{1}, to_bytes("one"));
+  w.client(0).bcast_state(kG, ObjectId{2}, to_bytes("two"));
+  w.client(0).bcast_state(kG, ObjectId{3}, to_bytes("three"));
+  w.settle();
+  w.client(1).join(kG, TransferPolicySpec::objects_only({ObjectId{2}}));
+  w.settle();
+  const SharedState* st = w.client(1).group_state(kG);
+  ASSERT_NE(st, nullptr);
+  EXPECT_FALSE(st->has_object(ObjectId{1}));
+  EXPECT_TRUE(st->has_object(ObjectId{2}));
+  EXPECT_FALSE(st->has_object(ObjectId{3}));
+}
+
+TEST(ServerClient, MembershipNoticesOnlyToSubscribers) {
+  std::vector<std::pair<NodeId, bool>> notices;  // (subject, joined)
+  CoronaClient::Callbacks subscriber_cb;
+  subscriber_cb.on_membership_change = [&](GroupId, NodeId who, MemberRole,
+                                           bool joined) {
+    notices.emplace_back(who, joined);
+  };
+  SimRuntime rt;
+  GroupStore store;
+  CoronaServer server(ServerConfig{}, &store);
+  rt.add_node(kServerId, &server, rt.network().add_host(HostProfile{}));
+  CoronaClient subscriber(kServerId, subscriber_cb);
+  CoronaClient joiner(kServerId);
+  rt.add_node(client_id(0), &subscriber, rt.network().add_host(HostProfile{}));
+  rt.add_node(client_id(1), &joiner, rt.network().add_host(HostProfile{}));
+  rt.start();
+  rt.run_for(50 * kMillisecond);
+  subscriber.create_group(kG, "g", false);
+  rt.run_for(50 * kMillisecond);
+  subscriber.join(kG, TransferPolicySpec::full(), MemberRole::kPrincipal,
+                  /*notify_membership=*/true);
+  rt.run_for(50 * kMillisecond);
+  joiner.join(kG, TransferPolicySpec::full(), MemberRole::kObserver,
+              /*notify_membership=*/false);
+  rt.run_for(100 * kMillisecond);
+  joiner.leave(kG);
+  rt.run_for(100 * kMillisecond);
+
+  ASSERT_EQ(notices.size(), 2u);
+  EXPECT_EQ(notices[0], std::make_pair(client_id(1), true));
+  EXPECT_EQ(notices[1], std::make_pair(client_id(1), false));
+}
+
+TEST(ServerClient, GetMembershipListsRoles) {
+  std::vector<MemberInfo> seen;
+  CoronaClient::Callbacks cb;
+  cb.on_membership_info = [&](GroupId, const std::vector<MemberInfo>& m) {
+    seen = m;
+  };
+  SingleServerWorld w(2, ServerConfig{}, cb);
+  w.client(0).create_group(kG, "g", false);
+  w.settle();
+  w.client(0).join(kG, TransferPolicySpec::full(), MemberRole::kPrincipal);
+  w.client(1).join(kG, TransferPolicySpec::full(), MemberRole::kObserver);
+  w.settle();
+  w.client(0).get_membership(kG);
+  w.settle();
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].node, client_id(0));
+  EXPECT_EQ(seen[0].role, MemberRole::kPrincipal);
+  EXPECT_EQ(seen[1].role, MemberRole::kObserver);
+}
+
+TEST(ServerClient, TransientGroupDiesAtNullMembership) {
+  SingleServerWorld w(1);
+  w.client(0).create_group(kG, "g", /*persistent=*/false);
+  w.settle();
+  w.client(0).join(kG);
+  w.settle();
+  EXPECT_TRUE(w.server->has_group(kG));
+  w.client(0).leave(kG);
+  w.settle();
+  EXPECT_FALSE(w.server->has_group(kG));
+}
+
+TEST(ServerClient, PersistentGroupSurvivesNullMembership) {
+  SingleServerWorld w(2);
+  w.client(0).create_group(kG, "g", /*persistent=*/true);
+  w.settle();
+  w.client(0).join(kG);
+  w.settle();
+  w.client(0).bcast_update(kG, kObj, to_bytes("kept"));
+  w.settle();
+  w.client(0).leave(kG);
+  w.settle();
+  ASSERT_TRUE(w.server->has_group(kG));
+  // A later client joins the memberless group and gets the state.
+  w.client(1).join(kG);
+  w.settle();
+  ASSERT_NE(w.client(1).group_state(kG), nullptr);
+  EXPECT_EQ(to_string(*w.client(1).group_state(kG)->object(kObj)), "kept");
+}
+
+TEST(ServerClient, DeleteGroupNotifiesMembers) {
+  int deleted_seen = 0;
+  CoronaClient::Callbacks cb;
+  cb.on_group_deleted = [&](GroupId) { ++deleted_seen; };
+  SingleServerWorld w(2, ServerConfig{}, cb);
+  w.client(0).create_group(kG, "g", true);
+  w.settle();
+  w.client(0).join(kG);
+  w.client(1).join(kG);
+  w.settle();
+  w.client(1).delete_group(kG);
+  w.settle();
+  EXPECT_FALSE(w.server->has_group(kG));
+  EXPECT_EQ(deleted_seen, 1);  // client 0 (client 1 gets the kReply instead)
+  EXPECT_FALSE(w.client(0).is_joined(kG));
+}
+
+TEST(ServerClient, LocksGrantQueueAndRelease) {
+  std::vector<NodeId> grants;
+  SimRuntime rt;
+  GroupStore store;
+  CoronaServer server(ServerConfig{}, &store);
+  rt.add_node(kServerId, &server, rt.network().add_host(HostProfile{}));
+  auto cb_for = [&](NodeId who) {
+    CoronaClient::Callbacks cb;
+    cb.on_lock_granted = [&grants, who](GroupId, ObjectId) {
+      grants.push_back(who);
+    };
+    return cb;
+  };
+  CoronaClient c0(kServerId, cb_for(client_id(0)));
+  CoronaClient c1(kServerId, cb_for(client_id(1)));
+  rt.add_node(client_id(0), &c0, rt.network().add_host(HostProfile{}));
+  rt.add_node(client_id(1), &c1, rt.network().add_host(HostProfile{}));
+  rt.start();
+  rt.run_for(50 * kMillisecond);
+  c0.create_group(kG, "g", false);
+  rt.run_for(50 * kMillisecond);
+  c0.join(kG);
+  c1.join(kG);
+  rt.run_for(50 * kMillisecond);
+  c0.lock(kG, kObj);
+  rt.run_for(50 * kMillisecond);
+  c1.lock(kG, kObj);  // queues
+  rt.run_for(50 * kMillisecond);
+  ASSERT_EQ(grants, (std::vector<NodeId>{client_id(0)}));
+  c0.unlock(kG, kObj);
+  rt.run_for(50 * kMillisecond);
+  EXPECT_EQ(grants, (std::vector<NodeId>{client_id(0), client_id(1)}));
+}
+
+TEST(ServerClient, LeaveReleasesHeldLocks) {
+  std::vector<NodeId> grants;
+  SimRuntime rt;
+  GroupStore store;
+  CoronaServer server(ServerConfig{}, &store);
+  rt.add_node(kServerId, &server, rt.network().add_host(HostProfile{}));
+  CoronaClient c0(kServerId);
+  CoronaClient::Callbacks cb;
+  cb.on_lock_granted = [&](GroupId, ObjectId) {
+    grants.push_back(client_id(1));
+  };
+  CoronaClient c1(kServerId, cb);
+  rt.add_node(client_id(0), &c0, rt.network().add_host(HostProfile{}));
+  rt.add_node(client_id(1), &c1, rt.network().add_host(HostProfile{}));
+  rt.start();
+  rt.run_for(50 * kMillisecond);
+  c0.create_group(kG, "g", true);
+  rt.run_for(50 * kMillisecond);
+  c0.join(kG);
+  c1.join(kG);
+  rt.run_for(50 * kMillisecond);
+  c0.lock(kG, kObj);
+  rt.run_for(50 * kMillisecond);
+  c1.lock(kG, kObj);
+  rt.run_for(50 * kMillisecond);
+  c0.leave(kG);  // implicit release
+  rt.run_for(100 * kMillisecond);
+  EXPECT_EQ(grants, (std::vector<NodeId>{client_id(1)}));
+}
+
+TEST(ServerClient, ClientRequestedLogReduction) {
+  SingleServerWorld w(1);
+  w.client(0).create_group(kG, "g", true);
+  w.settle();
+  w.client(0).join(kG);
+  w.settle();
+  for (int i = 0; i < 10; ++i) {
+    w.client(0).bcast_update(kG, kObj, to_bytes("u"));
+  }
+  w.settle();
+  ASSERT_EQ(w.server->group(kG)->state().history_size(), 10u);
+  w.client(0).reduce_log(kG);  // reduce to head
+  w.settle();
+  EXPECT_EQ(w.server->group(kG)->state().history_size(), 0u);
+  EXPECT_EQ(w.server->group(kG)->state().base_seq(), 10u);
+  EXPECT_EQ(w.server->stats().reductions, 1u);
+  // State is still intact for future joins.
+  EXPECT_EQ(to_string(*w.server->group(kG)->state().object(kObj)),
+            "uuuuuuuuuu");
+}
+
+TEST(ServerClient, AutomaticReductionPolicy) {
+  ServerConfig cfg;
+  cfg.reduction_factory = [] { return make_count_threshold(5); };
+  SingleServerWorld w(1, std::move(cfg));
+  w.client(0).create_group(kG, "g", true);
+  w.settle();
+  w.client(0).join(kG);
+  w.settle();
+  for (int i = 0; i < 20; ++i) {
+    w.client(0).bcast_update(kG, kObj, to_bytes("u"));
+  }
+  w.settle();
+  EXPECT_LE(w.server->group(kG)->state().history_size(), 5u);
+  EXPECT_GE(w.server->stats().reductions, 3u);
+}
+
+TEST(ServerClient, AclSessionManagerEnforced) {
+  SimRuntime rt;
+  GroupStore store;
+  AclSessionManager acl;
+  acl.allow(client_id(0), GroupId{AclSessionManager::kAnyGroup},
+            GroupAction::kCreate);
+  acl.allow(client_id(0), GroupId{AclSessionManager::kAnyGroup},
+            GroupAction::kJoin);
+  acl.allow(client_id(0), GroupId{AclSessionManager::kAnyGroup},
+            GroupAction::kPublish);
+  // client 1 may join but not publish
+  acl.allow(client_id(1), GroupId{AclSessionManager::kAnyGroup},
+            GroupAction::kJoin);
+  CoronaServer server(ServerConfig{}, &store, &acl);
+  rt.add_node(kServerId, &server, rt.network().add_host(HostProfile{}));
+  std::vector<Status> c1_replies;
+  CoronaClient::Callbacks cb;
+  cb.on_reply = [&](RequestId, Status s) { c1_replies.push_back(s); };
+  CoronaClient c0(kServerId);
+  CoronaClient c1(kServerId, cb);
+  rt.add_node(client_id(0), &c0, rt.network().add_host(HostProfile{}));
+  rt.add_node(client_id(1), &c1, rt.network().add_host(HostProfile{}));
+  rt.start();
+  rt.run_for(50 * kMillisecond);
+  c0.create_group(kG, "g", false);
+  rt.run_for(50 * kMillisecond);
+  c0.join(kG);
+  c1.join(kG);
+  rt.run_for(50 * kMillisecond);
+  ASSERT_TRUE(c1.is_joined(kG));
+  c1.bcast_update(kG, kObj, to_bytes("nope"));
+  rt.run_for(100 * kMillisecond);
+  ASSERT_FALSE(c1_replies.empty());
+  EXPECT_EQ(c1_replies.back().code, Errc::kPermissionDenied);
+  EXPECT_EQ(server.stats().messages_sequenced, 0u);
+}
+
+TEST(ServerClient, StatelessServerSequencesWithoutState) {
+  SimRuntime rt;
+  StatelessServer server;
+  rt.add_node(kServerId, &server, rt.network().add_host(HostProfile{}));
+  DeliveryLog log;
+  CoronaClient c0(kServerId, log.callbacks_for(client_id(0)));
+  CoronaClient c1(kServerId, log.callbacks_for(client_id(1)));
+  rt.add_node(client_id(0), &c0, rt.network().add_host(HostProfile{}));
+  rt.add_node(client_id(1), &c1, rt.network().add_host(HostProfile{}));
+  rt.start();
+  rt.run_until_idle();
+  c0.create_group(kG, "g", false);
+  rt.run_until_idle();
+  c0.join(kG);
+  c1.join(kG);
+  rt.run_until_idle();
+  c0.bcast_update(kG, kObj, to_bytes("m"));
+  c1.bcast_update(kG, kObj, to_bytes("n"));
+  rt.run_until_idle();
+  // Total order still holds (it is a sequencer)...
+  EXPECT_EQ(log.seqs_for(client_id(0)), log.seqs_for(client_id(1)));
+  EXPECT_EQ(server.stats().messages_sequenced, 2u);
+}
+
+TEST(ServerClient, ServerRestartRecoversPersistentGroups) {
+  SingleServerWorld w(2);
+  w.client(0).create_group(kG, "g", /*persistent=*/true);
+  w.settle();
+  w.client(0).join(kG);
+  w.settle();
+  w.client(0).bcast_update(kG, kObj, to_bytes("before-crash"));
+  w.settle();
+  // Let the async flush run, then crash + restart over the same store.
+  w.rt.run_for(500 * kMillisecond);
+  w.crash_and_restart_server();
+
+  EXPECT_TRUE(w.server->has_group(kG));
+  EXPECT_EQ(to_string(*w.server->group(kG)->state().object(kObj)),
+            "before-crash");
+  // Membership does not survive (clients must rejoin), state does.
+  EXPECT_EQ(w.server->group(kG)->member_count(), 0u);
+  w.client(1).join(kG);
+  w.settle();
+  ASSERT_NE(w.client(1).group_state(kG), nullptr);
+  EXPECT_EQ(to_string(*w.client(1).group_state(kG)->object(kObj)),
+            "before-crash");
+}
+
+TEST(ServerClient, UnflushedTailRecoveredViaClientResend) {
+  ServerConfig slow_flush;
+  slow_flush.flush_interval = 10 * kSecond;  // effectively never during test
+  SingleServerWorld w(1, std::move(slow_flush));
+  w.client(0).create_group(kG, "g", true);
+  w.settle();
+  // The create is flushed only via the (slow) timer; force a durable base
+  // by an explicit early flush cycle: run past one interval.
+  w.rt.run_for(11 * kSecond);
+  w.client(0).join(kG);
+  w.settle();
+  w.client(0).bcast_update(kG, kObj, to_bytes("lost1;"));
+  w.client(0).bcast_update(kG, kObj, to_bytes("lost2;"));
+  w.settle();
+  // Crash before the next flush: the two updates were never durable.
+  w.crash_and_restart_server();
+  ASSERT_TRUE(w.server->has_group(kG));
+  EXPECT_FALSE(w.server->group(kG)->state().has_object(kObj));
+
+  // Paper §6: the updates are retrieved from the original sender.
+  w.client(0).join(kG);
+  w.settle();
+  w.client(0).resend_recent(kG);
+  w.settle();
+  ASSERT_TRUE(w.server->group(kG)->state().has_object(kObj));
+  EXPECT_EQ(to_string(*w.server->group(kG)->state().object(kObj)),
+            "lost1;lost2;");
+  EXPECT_EQ(w.server->stats().resends_applied, 2u);
+  // Resending again is idempotent (dedup by sender/request id).
+  w.client(0).resend_recent(kG);
+  w.settle();
+  EXPECT_EQ(to_string(*w.server->group(kG)->state().object(kObj)),
+            "lost1;lost2;");
+}
+
+TEST(ServerClient, SyncFlushStillDelivers) {
+  ServerConfig cfg;
+  cfg.flush = FlushPolicy::kSync;
+  SingleServerWorld w(2, std::move(cfg));
+  w.client(0).create_group(kG, "g", true);
+  w.settle();
+  w.client(0).join(kG);
+  w.client(1).join(kG);
+  w.settle();
+  w.client(0).bcast_update(kG, kObj, to_bytes("synced"));
+  w.settle();
+  ASSERT_NE(w.client(1).group_state(kG), nullptr);
+  EXPECT_EQ(to_string(*w.client(1).group_state(kG)->object(kObj)), "synced");
+  EXPECT_GE(w.server->stats().flushes, 1u);
+}
+
+TEST(ServerClient, QosSchedulingPrefersHighPriorityGroup) {
+  ServerConfig cfg;
+  cfg.enable_qos = true;
+  SingleServerWorld w(1, std::move(cfg));
+  const GroupId hi{1}, lo{2};
+  w.client(0).create_group(hi, "hi", false);
+  w.client(0).create_group(lo, "lo", false);
+  w.settle();
+  w.server->set_group_qos_class(hi, 0);
+  w.server->set_group_qos_class(lo, 2);
+  w.client(0).join(hi);
+  w.client(0).join(lo);
+  w.settle();
+  w.client(0).bcast_update(lo, kObj, to_bytes("low"));
+  w.client(0).bcast_update(hi, kObj, to_bytes("high"));
+  w.settle();
+  // Both eventually delivered.
+  EXPECT_TRUE(w.client(0).group_state(hi)->has_object(kObj));
+  EXPECT_TRUE(w.client(0).group_state(lo)->has_object(kObj));
+  EXPECT_EQ(w.server->stats().messages_sequenced, 2u);
+}
+
+}  // namespace
+}  // namespace corona

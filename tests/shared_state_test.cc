@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "core/shared_state.h"
+#include "util/rng.h"
+
+namespace corona {
+namespace {
+
+UpdateRecord rec(SeqNo seq, PayloadKind kind, ObjectId obj, const char* data) {
+  UpdateRecord u;
+  u.seq = seq;
+  u.kind = kind;
+  u.object = obj;
+  u.data = to_bytes(data);
+  u.sender = NodeId{100};
+  u.request_id = seq;
+  return u;
+}
+
+TEST(SharedState, BcastStateReplacesObjectStream) {
+  SharedState s;
+  s.apply(rec(1, PayloadKind::kState, ObjectId{1}, "first"));
+  s.apply(rec(2, PayloadKind::kState, ObjectId{1}, "second"));
+  ASSERT_TRUE(s.has_object(ObjectId{1}));
+  EXPECT_EQ(to_string(*s.object(ObjectId{1})), "second");
+}
+
+TEST(SharedState, BcastUpdateAppendsToObjectStream) {
+  SharedState s;
+  s.apply(rec(1, PayloadKind::kState, ObjectId{1}, "base"));
+  s.apply(rec(2, PayloadKind::kUpdate, ObjectId{1}, "+a"));
+  s.apply(rec(3, PayloadKind::kUpdate, ObjectId{1}, "+b"));
+  EXPECT_EQ(to_string(*s.object(ObjectId{1})), "base+a+b");
+}
+
+TEST(SharedState, UpdateOnMissingObjectCreatesIt) {
+  SharedState s;
+  s.apply(rec(1, PayloadKind::kUpdate, ObjectId{9}, "x"));
+  EXPECT_EQ(to_string(*s.object(ObjectId{9})), "x");
+}
+
+TEST(SharedState, LoadInstallsSnapshot) {
+  SharedState s;
+  s.load(10, {StateEntry{ObjectId{1}, to_bytes("a")},
+              StateEntry{ObjectId{2}, to_bytes("bb")}});
+  EXPECT_EQ(s.base_seq(), 10u);
+  EXPECT_EQ(s.head_seq(), 10u);
+  EXPECT_EQ(s.object_count(), 2u);
+  EXPECT_EQ(s.state_bytes(), 3u);
+  EXPECT_EQ(s.history_size(), 0u);
+}
+
+TEST(SharedState, SnapshotSortedByObjectId) {
+  SharedState s;
+  s.apply(rec(1, PayloadKind::kState, ObjectId{5}, "z"));
+  s.apply(rec(2, PayloadKind::kState, ObjectId{2}, "a"));
+  const auto snap = s.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].object, ObjectId{2});
+  EXPECT_EQ(snap[1].object, ObjectId{5});
+}
+
+TEST(SharedState, SnapshotOfSubset) {
+  SharedState s;
+  s.apply(rec(1, PayloadKind::kState, ObjectId{1}, "a"));
+  s.apply(rec(2, PayloadKind::kState, ObjectId{2}, "b"));
+  s.apply(rec(3, PayloadKind::kState, ObjectId{3}, "c"));
+  const ObjectId want[] = {ObjectId{3}, ObjectId{1}, ObjectId{99}};
+  const auto snap = s.snapshot_of(want);
+  ASSERT_EQ(snap.size(), 2u);  // 99 missing -> skipped
+  EXPECT_EQ(snap[0].object, ObjectId{3});
+  EXPECT_EQ(snap[1].object, ObjectId{1});
+}
+
+TEST(SharedState, LastNReturnsTail) {
+  SharedState s;
+  for (SeqNo i = 1; i <= 10; ++i) {
+    s.apply(rec(i, PayloadKind::kUpdate, ObjectId{1}, "u"));
+  }
+  const auto tail = s.last_n(3);
+  ASSERT_EQ(tail.size(), 3u);
+  EXPECT_EQ(tail[0].seq, 8u);
+  EXPECT_EQ(tail[2].seq, 10u);
+  EXPECT_EQ(s.last_n(99).size(), 10u);
+  EXPECT_TRUE(s.last_n(0).empty());
+}
+
+TEST(SharedState, LastNOfFiltersObjects) {
+  SharedState s;
+  for (SeqNo i = 1; i <= 6; ++i) {
+    s.apply(rec(i, PayloadKind::kUpdate, ObjectId{i % 2}, "u"));
+  }
+  const ObjectId want[] = {ObjectId{0}};
+  const auto tail = s.last_n_of(want, 2);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].seq, 4u);  // even seqs touch object 0
+  EXPECT_EQ(tail[1].seq, 6u);
+}
+
+TEST(SharedState, SinceReturnsSuffix) {
+  SharedState s;
+  for (SeqNo i = 1; i <= 5; ++i) {
+    s.apply(rec(i, PayloadKind::kUpdate, ObjectId{1}, "u"));
+  }
+  EXPECT_EQ(s.since(3).size(), 2u);
+  EXPECT_EQ(s.since(0).size(), 5u);
+  EXPECT_TRUE(s.since(5).empty());
+}
+
+TEST(SharedState, ReduceDropsPrefixAndMovesBase) {
+  SharedState s;
+  for (SeqNo i = 1; i <= 10; ++i) {
+    s.apply(rec(i, PayloadKind::kUpdate, ObjectId{1}, "u"));
+  }
+  EXPECT_EQ(s.reduce_to(6), 6u);
+  EXPECT_EQ(s.base_seq(), 6u);
+  EXPECT_EQ(s.head_seq(), 10u);
+  EXPECT_EQ(s.history_size(), 4u);
+  // Reducing again to the same point is a no-op.
+  EXPECT_EQ(s.reduce_to(6), 0u);
+  // Clamped to head.
+  EXPECT_EQ(s.reduce_to(99), 4u);
+  EXPECT_EQ(s.base_seq(), 10u);
+}
+
+TEST(SharedState, ReduceFoldsPrefixIntoBaseSnapshot) {
+  SharedState s;
+  s.load(0, {StateEntry{ObjectId{1}, to_bytes("I")}});
+  s.apply(rec(1, PayloadKind::kUpdate, ObjectId{1}, "a"));
+  s.apply(rec(2, PayloadKind::kUpdate, ObjectId{1}, "b"));
+  s.apply(rec(3, PayloadKind::kUpdate, ObjectId{1}, "c"));
+  s.reduce_to(2);
+  const auto base = s.snapshot_at_base();
+  ASSERT_EQ(base.size(), 1u);
+  EXPECT_EQ(to_string(base[0].data), "Iab");  // state at seq 2
+  EXPECT_EQ(to_string(*s.object(ObjectId{1})), "Iabc");  // head unchanged
+}
+
+TEST(SharedState, HistoryBytesTracked) {
+  SharedState s;
+  s.apply(rec(1, PayloadKind::kUpdate, ObjectId{1}, "12345"));
+  s.apply(rec(2, PayloadKind::kUpdate, ObjectId{1}, "12"));
+  EXPECT_EQ(s.history_bytes(), 7u);
+  s.reduce_to(1);
+  EXPECT_EQ(s.history_bytes(), 2u);
+}
+
+TEST(SharedState, StateBytesTracksReplaceAndAppend) {
+  SharedState s;
+  s.apply(rec(1, PayloadKind::kState, ObjectId{1}, "12345"));
+  EXPECT_EQ(s.state_bytes(), 5u);
+  s.apply(rec(2, PayloadKind::kUpdate, ObjectId{1}, "67"));
+  EXPECT_EQ(s.state_bytes(), 7u);
+  s.apply(rec(3, PayloadKind::kState, ObjectId{1}, "x"));
+  EXPECT_EQ(s.state_bytes(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Property: for any random workload and any interleaving of reductions,
+// replaying the base snapshot + retained history reproduces the consolidated
+// state ("the new state is equivalent with the initial state plus the
+// history of state updates", §3.2).
+// ---------------------------------------------------------------------------
+
+class SharedStateReplayProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SharedStateReplayProperty, ReplayEquivalence) {
+  Rng rng(GetParam() * 31337 + 5);
+  SharedState s;
+  s.load(0, {StateEntry{ObjectId{0}, to_bytes("seed")}});
+  SeqNo seq = 0;
+  for (int step = 0; step < 300; ++step) {
+    if (rng.next_bool(0.1) && s.history_size() > 0) {
+      const SeqNo upto =
+          s.base_seq() + 1 + rng.next_below(s.head_seq() - s.base_seq());
+      s.reduce_to(upto);
+    } else {
+      UpdateRecord u;
+      u.seq = ++seq;
+      u.kind = rng.next_bool(0.3) ? PayloadKind::kState : PayloadKind::kUpdate;
+      u.object = ObjectId{rng.next_below(5)};
+      u.data = filler_bytes(rng.next_below(40),
+                            static_cast<std::uint8_t>(rng.next_u64()));
+      u.sender = NodeId{100};
+      u.request_id = seq;
+      s.apply(u);
+    }
+
+    // Invariant check: base snapshot + retained history == consolidated.
+    SharedState replay;
+    replay.load(s.base_seq(), s.snapshot_at_base());
+    for (const UpdateRecord& u : s.history()) replay.apply(u);
+    ASSERT_EQ(replay.snapshot(), s.snapshot()) << "step " << step;
+    ASSERT_EQ(replay.head_seq(), s.head_seq());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SharedStateReplayProperty,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace corona

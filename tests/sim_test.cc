@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+#include "sim/sim_disk.h"
+#include "sim/sim_network.h"
+#include "sim/simulator.h"
+
+namespace corona {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&] { order.push_back(3); });
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(100, [&order, i] { order.push_back(i); });
+  }
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, PastTimesClampToNow) {
+  EventQueue q;
+  q.schedule_at(50, [] {});
+  q.run_next();
+  bool ran = false;
+  q.schedule_at(10, [&] { ran = true; });  // in the past
+  q.run_next();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(q.now(), 50);  // time does not go backwards
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const auto id = q.schedule_at(10, [&] { ran = true; });
+  q.cancel(id);
+  while (q.run_next()) {
+  }
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) q.schedule_after(10, chain);
+  };
+  q.schedule_after(0, chain);
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(q.now(), 40);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  for (TimePoint t : {10, 20, 30, 40}) {
+    sim.queue().schedule_at(t, [&] { ++fired; });
+  }
+  sim.run_until(25);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 25);
+  sim.run_until_idle();
+  EXPECT_EQ(fired, 4);
+}
+
+TEST(Simulator, RunForAdvancesRelative) {
+  Simulator sim;
+  sim.run_until(100);
+  int fired = 0;
+  sim.queue().schedule_after(50, [&] { ++fired; });
+  sim.run_for(49);
+  EXPECT_EQ(fired, 0);
+  sim.run_for(2);
+  EXPECT_EQ(fired, 1);
+}
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  SimNetwork net;
+  HostId h1, h2;
+  void SetUp() override {
+    h1 = net.add_host(HostProfile{});
+    h2 = net.add_host(HostProfile{});
+    net.place(NodeId{1}, h1);
+    net.place(NodeId{2}, h2);
+    net.set_default_latency(300);
+  }
+};
+
+TEST_F(NetworkTest, TransmitIncludesCpuWireAndLatency) {
+  auto t = net.transmit(NodeId{1}, NodeId{2}, 1000, 0);
+  ASSERT_TRUE(t.has_value());
+  // Arrival = send cpu (50 + 0.02*1000 = 70) + wire (1000 B at 1.25 MB/s =
+  // 800 us) + latency 300 = 1170; receive processing books separately.
+  EXPECT_EQ(*t, 1170);
+  EXPECT_EQ(net.book_receive(NodeId{2}, 1000, *t), 1170 + 70);
+}
+
+TEST_F(NetworkTest, ReceiversSerializeInArrivalOrder) {
+  // Two messages arriving at overlapping times: the second waits for the
+  // first's receive processing, regardless of the booking order.
+  const TimePoint d1 = net.book_receive(NodeId{2}, 1000, 5000);
+  EXPECT_EQ(d1, 5070);
+  const TimePoint d2 = net.book_receive(NodeId{2}, 1000, 5010);
+  EXPECT_EQ(d2, 5140);  // queued behind the first
+  // An idle gap does not carry over.
+  EXPECT_EQ(net.book_receive(NodeId{2}, 1000, 9000), 9070);
+}
+
+TEST_F(NetworkTest, SenderCpuSerializesSends) {
+  const auto t1 = net.transmit(NodeId{1}, NodeId{2}, 1000, 0);
+  const auto t2 = net.transmit(NodeId{1}, NodeId{2}, 1000, 0);
+  ASSERT_TRUE(t1 && t2);
+  // Second send waits for the first's CPU slot and the shared medium.
+  EXPECT_GT(*t2, *t1);
+}
+
+TEST_F(NetworkTest, SharedMediumBoundsThroughput) {
+  // 100 x 1000-byte messages over a 1.25 MB/s medium need >= 80 ms of wire
+  // time regardless of CPU speed.
+  net.set_shared_bandwidth(1.25e6);
+  TimePoint last = 0;
+  for (int i = 0; i < 100; ++i) {
+    last = *net.transmit(NodeId{1}, NodeId{2}, 1000, 0);
+  }
+  EXPECT_GE(last, 80000);
+}
+
+TEST_F(NetworkTest, ZeroBandwidthDisablesMedium) {
+  net.set_shared_bandwidth(0);
+  auto t = net.transmit(NodeId{1}, NodeId{2}, 1000, 0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, 70 + 300);  // no wire serialization term
+}
+
+TEST_F(NetworkTest, LoopbackSkipsMediumAndUsesLoopbackLatency) {
+  net.place(NodeId{3}, h1);
+  net.set_loopback_latency(5);
+  auto t = net.transmit(NodeId{1}, NodeId{3}, 1000, 0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, 70 + 5);
+}
+
+TEST_F(NetworkTest, PerPairLatencyOverride) {
+  net.set_latency(h1, h2, 5000);
+  auto t = net.transmit(NodeId{1}, NodeId{2}, 10, 0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_GT(*t, 5000);
+}
+
+TEST_F(NetworkTest, CrashedNodeDropsTraffic) {
+  net.crash_node(NodeId{2});
+  EXPECT_FALSE(net.transmit(NodeId{1}, NodeId{2}, 10, 0).has_value());
+  EXPECT_FALSE(net.transmit(NodeId{2}, NodeId{1}, 10, 0).has_value());
+  net.restart_node(NodeId{2});
+  EXPECT_TRUE(net.transmit(NodeId{1}, NodeId{2}, 10, 0).has_value());
+}
+
+TEST_F(NetworkTest, SenderStillPaysCpuForLostSend) {
+  net.crash_node(NodeId{2});
+  (void)net.transmit(NodeId{1}, NodeId{2}, 100000, 0);
+  net.restart_node(NodeId{2});
+  // The next send queues behind the wasted CPU time.
+  auto t = net.transmit(NodeId{1}, NodeId{2}, 10, 0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_GT(*t, 2000);
+}
+
+TEST_F(NetworkTest, PartitionCutsCrossCellTraffic) {
+  net.set_partition_cell(NodeId{1}, 0);
+  net.set_partition_cell(NodeId{2}, 1);
+  EXPECT_FALSE(net.transmit(NodeId{1}, NodeId{2}, 10, 0).has_value());
+  net.heal_partitions();
+  EXPECT_TRUE(net.transmit(NodeId{1}, NodeId{2}, 10, 0).has_value());
+}
+
+TEST_F(NetworkTest, AccountingCountsDeliveredBytes) {
+  (void)net.transmit(NodeId{1}, NodeId{2}, 123, 0);
+  net.crash_node(NodeId{2});
+  (void)net.transmit(NodeId{1}, NodeId{2}, 999, 0);  // lost: not counted
+  EXPECT_EQ(net.bytes_sent(), 123u);
+  EXPECT_EQ(net.messages_sent(), 1u);
+}
+
+TEST(HostProfile, CalibratedProfilesOrdered) {
+  // The NT quad Pentium II outperforms the UltraSparc (Table 1 ordering).
+  const auto us = HostProfile::ultrasparc();
+  const auto nt = HostProfile::pentium_ii_quad();
+  EXPECT_LT(nt.send_cost(1000), us.send_cost(1000));
+  EXPECT_LT(nt.recv_cost(10000), us.recv_cost(10000));
+}
+
+TEST(SimDisk, WritesSerializeAtDeviceSpeed) {
+  SimDisk disk(DiskProfile::nineties_disk());  // 4 MB/s, 500us per op
+  const TimePoint t1 = disk.write(4000, 0);    // 500 + 1000us
+  EXPECT_EQ(t1, 1500);
+  const TimePoint t2 = disk.write(4000, 0);  // queues behind the first
+  EXPECT_EQ(t2, 3000);
+  EXPECT_EQ(disk.bytes_written(), 8000u);
+  EXPECT_EQ(disk.ops(), 2u);
+}
+
+TEST(SimDisk, FastRaidIsFaster) {
+  SimDisk slow(DiskProfile::nineties_disk());
+  SimDisk fast(DiskProfile::fast_raid());
+  EXPECT_LT(fast.write(100000, 0), slow.write(100000, 0));
+}
+
+TEST(SimDisk, IdleDiskStartsAtNow) {
+  SimDisk disk;
+  const TimePoint t = disk.write(4000, 10000);
+  EXPECT_GT(t, 10000);
+}
+
+}  // namespace
+}  // namespace corona

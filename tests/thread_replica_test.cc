@@ -1,0 +1,112 @@
+// The replicated service under the concurrent ThreadRuntime: coordinator,
+// leaves and clients each on their own OS thread, real heartbeats and real
+// message races through the same protocol code the simulator runs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/client.h"
+#include "replica/replica_server.h"
+#include "runtime/thread_runtime.h"
+
+namespace corona {
+namespace {
+
+const GroupId kG{1};
+const ObjectId kObj{1};
+
+ReplicaConfig fast_cfg() {
+  ReplicaConfig cfg;
+  cfg.heartbeat_interval = 20 * kMillisecond;
+  cfg.fd_timeout = 100 * kMillisecond;
+  cfg.election_window = 50 * kMillisecond;
+  cfg.takeover_window = 50 * kMillisecond;
+  return cfg;
+}
+
+TEST(ThreadedReplica, CrossLeafMulticastAndStateTransfer) {
+  ThreadRuntime rt;
+  const std::vector<NodeId> ids{NodeId{1}, NodeId{2}, NodeId{3}};
+  ReplicaServer coordinator(fast_cfg(), ids);
+  ReplicaServer leaf_a(fast_cfg(), ids);
+  ReplicaServer leaf_b(fast_cfg(), ids);
+  rt.add_node(ids[0], &coordinator);
+  rt.add_node(ids[1], &leaf_a);
+  rt.add_node(ids[2], &leaf_b);
+
+  std::atomic<int> delivered{0};
+  CoronaClient::Callbacks cb;
+  cb.on_deliver = [&](GroupId, const UpdateRecord&) { delivered.fetch_add(1); };
+  CoronaClient ann(ids[1], cb);
+  CoronaClient bob(ids[2], cb);
+  rt.add_node(NodeId{100}, &ann);
+  rt.add_node(NodeId{101}, &bob);
+  rt.start();
+  rt.wait_quiescent(2 * kSecond);
+
+  ann.create_group(kG, "g", true);
+  rt.wait_quiescent(2 * kSecond);
+  ann.join(kG);
+  rt.wait_quiescent(2 * kSecond);
+  ann.bcast_update(kG, kObj, to_bytes("pre;"));
+  rt.wait_quiescent(2 * kSecond);
+
+  // Bob joins through the other leaf: its copy is pulled on demand, and the
+  // transfer carries ann's update.
+  bob.join(kG);
+  rt.wait_quiescent(2 * kSecond);
+  ASSERT_TRUE(bob.is_joined(kG));
+  ASSERT_NE(bob.group_state(kG), nullptr);
+  EXPECT_EQ(to_string(*bob.group_state(kG)->object(kObj)), "pre;");
+
+  bob.bcast_update(kG, kObj, to_bytes("post;"));
+  rt.wait_quiescent(2 * kSecond);
+  EXPECT_EQ(to_string(*ann.group_state(kG)->object(kObj)), "pre;post;");
+  EXPECT_GE(delivered.load(), 3);
+  rt.stop();
+}
+
+TEST(ThreadedReplica, CoordinatorCrashElectionUnderThreads) {
+  ThreadRuntime rt;
+  const std::vector<NodeId> ids{NodeId{1}, NodeId{2}, NodeId{3}, NodeId{4}};
+  std::vector<std::unique_ptr<ReplicaServer>> servers;
+  for (NodeId id : ids) {
+    servers.push_back(std::make_unique<ReplicaServer>(fast_cfg(), ids));
+    rt.add_node(id, servers.back().get());
+  }
+  CoronaClient client(ids[1]);
+  rt.add_node(NodeId{100}, &client);
+  rt.start();
+  rt.wait_quiescent(2 * kSecond);
+
+  client.create_group(kG, "g", true);
+  rt.wait_quiescent(2 * kSecond);
+  client.join(kG);
+  rt.wait_quiescent(2 * kSecond);
+  client.bcast_update(kG, kObj, to_bytes("before;"));
+  rt.wait_quiescent(2 * kSecond);
+
+  rt.crash(ids[0]);
+  // Real time must pass for heartbeat timeouts + election (fd 100 ms,
+  // staged claims): poll until a survivor takes over.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  bool elected = false;
+  while (!elected && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    for (std::size_t i = 1; i < servers.size(); ++i) {
+      if (servers[i]->is_coordinator()) elected = true;
+    }
+  }
+  ASSERT_TRUE(elected);
+
+  client.bcast_update(kG, kObj, to_bytes("after;"));
+  rt.wait_quiescent(5 * kSecond);
+  ASSERT_NE(client.group_state(kG), nullptr);
+  EXPECT_EQ(to_string(*client.group_state(kG)->object(kObj)),
+            "before;after;");
+  rt.stop();
+}
+
+}  // namespace
+}  // namespace corona
