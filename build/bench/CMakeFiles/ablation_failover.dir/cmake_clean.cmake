@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_failover.dir/ablation_failover.cc.o"
+  "CMakeFiles/ablation_failover.dir/ablation_failover.cc.o.d"
+  "ablation_failover"
+  "ablation_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

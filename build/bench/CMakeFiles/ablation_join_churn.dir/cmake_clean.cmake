@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_join_churn.dir/ablation_join_churn.cc.o"
+  "CMakeFiles/ablation_join_churn.dir/ablation_join_churn.cc.o.d"
+  "ablation_join_churn"
+  "ablation_join_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_join_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

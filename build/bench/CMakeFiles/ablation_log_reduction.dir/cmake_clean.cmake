@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_log_reduction.dir/ablation_log_reduction.cc.o"
+  "CMakeFiles/ablation_log_reduction.dir/ablation_log_reduction.cc.o.d"
+  "ablation_log_reduction"
+  "ablation_log_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_log_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_logging.dir/ablation_logging.cc.o"
+  "CMakeFiles/ablation_logging.dir/ablation_logging.cc.o.d"
+  "ablation_logging"
+  "ablation_logging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

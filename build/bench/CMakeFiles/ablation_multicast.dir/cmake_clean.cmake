@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multicast.dir/ablation_multicast.cc.o"
+  "CMakeFiles/ablation_multicast.dir/ablation_multicast.cc.o.d"
+  "ablation_multicast"
+  "ablation_multicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_peer_join.dir/ablation_peer_join.cc.o"
+  "CMakeFiles/ablation_peer_join.dir/ablation_peer_join.cc.o.d"
+  "ablation_peer_join"
+  "ablation_peer_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_peer_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_state_transfer.dir/ablation_state_transfer.cc.o"
+  "CMakeFiles/ablation_state_transfer.dir/ablation_state_transfer.cc.o.d"
+  "ablation_state_transfer"
+  "ablation_state_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_state_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libcorona_bench_scenario.a"
+  "../lib/libcorona_bench_scenario.pdb"
+  "CMakeFiles/corona_bench_scenario.dir/scenario.cc.o"
+  "CMakeFiles/corona_bench_scenario.dir/scenario.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corona_bench_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

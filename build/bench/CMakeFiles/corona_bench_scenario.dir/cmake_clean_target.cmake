@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libcorona_bench_scenario.a"
+)

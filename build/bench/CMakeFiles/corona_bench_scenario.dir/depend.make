@@ -1,0 +1,2 @@
+# Empty dependencies file for corona_bench_scenario.
+# This may be replaced when dependencies are built.

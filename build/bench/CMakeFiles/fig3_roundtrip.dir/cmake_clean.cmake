@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_roundtrip.dir/fig3_roundtrip.cc.o"
+  "CMakeFiles/fig3_roundtrip.dir/fig3_roundtrip.cc.o.d"
+  "fig3_roundtrip"
+  "fig3_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msg_size_sweep.dir/msg_size_sweep.cc.o"
+  "CMakeFiles/msg_size_sweep.dir/msg_size_sweep.cc.o.d"
+  "msg_size_sweep"
+  "msg_size_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msg_size_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

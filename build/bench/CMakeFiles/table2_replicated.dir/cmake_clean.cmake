@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_replicated.dir/table2_replicated.cc.o"
+  "CMakeFiles/table2_replicated.dir/table2_replicated.cc.o.d"
+  "table2_replicated"
+  "table2_replicated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_replicated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_dissemination.dir/data_dissemination.cpp.o"
+  "CMakeFiles/data_dissemination.dir/data_dissemination.cpp.o.d"
+  "data_dissemination"
+  "data_dissemination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_dissemination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

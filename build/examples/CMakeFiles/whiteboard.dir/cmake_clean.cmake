@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whiteboard.dir/whiteboard.cpp.o"
+  "CMakeFiles/whiteboard.dir/whiteboard.cpp.o.d"
+  "whiteboard"
+  "whiteboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whiteboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/client.cc" "src/CMakeFiles/corona.dir/core/client.cc.o" "gcc" "src/CMakeFiles/corona.dir/core/client.cc.o.d"
+  "/root/repo/src/core/group.cc" "src/CMakeFiles/corona.dir/core/group.cc.o" "gcc" "src/CMakeFiles/corona.dir/core/group.cc.o.d"
+  "/root/repo/src/core/locks.cc" "src/CMakeFiles/corona.dir/core/locks.cc.o" "gcc" "src/CMakeFiles/corona.dir/core/locks.cc.o.d"
+  "/root/repo/src/core/log_reduction.cc" "src/CMakeFiles/corona.dir/core/log_reduction.cc.o" "gcc" "src/CMakeFiles/corona.dir/core/log_reduction.cc.o.d"
+  "/root/repo/src/core/qos_scheduler.cc" "src/CMakeFiles/corona.dir/core/qos_scheduler.cc.o" "gcc" "src/CMakeFiles/corona.dir/core/qos_scheduler.cc.o.d"
+  "/root/repo/src/core/server.cc" "src/CMakeFiles/corona.dir/core/server.cc.o" "gcc" "src/CMakeFiles/corona.dir/core/server.cc.o.d"
+  "/root/repo/src/core/session_manager.cc" "src/CMakeFiles/corona.dir/core/session_manager.cc.o" "gcc" "src/CMakeFiles/corona.dir/core/session_manager.cc.o.d"
+  "/root/repo/src/core/shared_state.cc" "src/CMakeFiles/corona.dir/core/shared_state.cc.o" "gcc" "src/CMakeFiles/corona.dir/core/shared_state.cc.o.d"
+  "/root/repo/src/core/state_transfer.cc" "src/CMakeFiles/corona.dir/core/state_transfer.cc.o" "gcc" "src/CMakeFiles/corona.dir/core/state_transfer.cc.o.d"
+  "/root/repo/src/core/stateless_server.cc" "src/CMakeFiles/corona.dir/core/stateless_server.cc.o" "gcc" "src/CMakeFiles/corona.dir/core/stateless_server.cc.o.d"
+  "/root/repo/src/replica/coordinator.cc" "src/CMakeFiles/corona.dir/replica/coordinator.cc.o" "gcc" "src/CMakeFiles/corona.dir/replica/coordinator.cc.o.d"
+  "/root/repo/src/replica/election.cc" "src/CMakeFiles/corona.dir/replica/election.cc.o" "gcc" "src/CMakeFiles/corona.dir/replica/election.cc.o.d"
+  "/root/repo/src/replica/failure_detector.cc" "src/CMakeFiles/corona.dir/replica/failure_detector.cc.o" "gcc" "src/CMakeFiles/corona.dir/replica/failure_detector.cc.o.d"
+  "/root/repo/src/replica/partition.cc" "src/CMakeFiles/corona.dir/replica/partition.cc.o" "gcc" "src/CMakeFiles/corona.dir/replica/partition.cc.o.d"
+  "/root/repo/src/replica/recovery.cc" "src/CMakeFiles/corona.dir/replica/recovery.cc.o" "gcc" "src/CMakeFiles/corona.dir/replica/recovery.cc.o.d"
+  "/root/repo/src/replica/registry.cc" "src/CMakeFiles/corona.dir/replica/registry.cc.o" "gcc" "src/CMakeFiles/corona.dir/replica/registry.cc.o.d"
+  "/root/repo/src/replica/replica_server.cc" "src/CMakeFiles/corona.dir/replica/replica_server.cc.o" "gcc" "src/CMakeFiles/corona.dir/replica/replica_server.cc.o.d"
+  "/root/repo/src/replica/replication_manager.cc" "src/CMakeFiles/corona.dir/replica/replication_manager.cc.o" "gcc" "src/CMakeFiles/corona.dir/replica/replication_manager.cc.o.d"
+  "/root/repo/src/runtime/sim_runtime.cc" "src/CMakeFiles/corona.dir/runtime/sim_runtime.cc.o" "gcc" "src/CMakeFiles/corona.dir/runtime/sim_runtime.cc.o.d"
+  "/root/repo/src/runtime/thread_runtime.cc" "src/CMakeFiles/corona.dir/runtime/thread_runtime.cc.o" "gcc" "src/CMakeFiles/corona.dir/runtime/thread_runtime.cc.o.d"
+  "/root/repo/src/serial/message.cc" "src/CMakeFiles/corona.dir/serial/message.cc.o" "gcc" "src/CMakeFiles/corona.dir/serial/message.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/corona.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/corona.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/sim_disk.cc" "src/CMakeFiles/corona.dir/sim/sim_disk.cc.o" "gcc" "src/CMakeFiles/corona.dir/sim/sim_disk.cc.o.d"
+  "/root/repo/src/sim/sim_network.cc" "src/CMakeFiles/corona.dir/sim/sim_network.cc.o" "gcc" "src/CMakeFiles/corona.dir/sim/sim_network.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/corona.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/corona.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/storage/checkpoint_store.cc" "src/CMakeFiles/corona.dir/storage/checkpoint_store.cc.o" "gcc" "src/CMakeFiles/corona.dir/storage/checkpoint_store.cc.o.d"
+  "/root/repo/src/storage/group_store.cc" "src/CMakeFiles/corona.dir/storage/group_store.cc.o" "gcc" "src/CMakeFiles/corona.dir/storage/group_store.cc.o.d"
+  "/root/repo/src/storage/stable_log.cc" "src/CMakeFiles/corona.dir/storage/stable_log.cc.o" "gcc" "src/CMakeFiles/corona.dir/storage/stable_log.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/corona.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/corona.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/corona.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/corona.dir/util/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_api_test.dir/client_api_test.cc.o"
+  "CMakeFiles/client_api_test.dir/client_api_test.cc.o.d"
+  "client_api_test"
+  "client_api_test.pdb"
+  "client_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_failure_test.dir/client_failure_test.cc.o"
+  "CMakeFiles/client_failure_test.dir/client_failure_test.cc.o.d"
+  "client_failure_test"
+  "client_failure_test.pdb"
+  "client_failure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peer_join_test.dir/peer_join_test.cc.o"
+  "CMakeFiles/peer_join_test.dir/peer_join_test.cc.o.d"
+  "peer_join_test"
+  "peer_join_test.pdb"
+  "peer_join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peer_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

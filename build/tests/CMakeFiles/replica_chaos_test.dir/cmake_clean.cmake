@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replica_chaos_test.dir/replica_chaos_test.cc.o"
+  "CMakeFiles/replica_chaos_test.dir/replica_chaos_test.cc.o.d"
+  "replica_chaos_test"
+  "replica_chaos_test.pdb"
+  "replica_chaos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replica_chaos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

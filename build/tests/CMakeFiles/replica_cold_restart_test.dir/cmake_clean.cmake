@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replica_cold_restart_test.dir/replica_cold_restart_test.cc.o"
+  "CMakeFiles/replica_cold_restart_test.dir/replica_cold_restart_test.cc.o.d"
+  "replica_cold_restart_test"
+  "replica_cold_restart_test.pdb"
+  "replica_cold_restart_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replica_cold_restart_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

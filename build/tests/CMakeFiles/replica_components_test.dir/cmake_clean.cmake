@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replica_components_test.dir/replica_components_test.cc.o"
+  "CMakeFiles/replica_components_test.dir/replica_components_test.cc.o.d"
+  "replica_components_test"
+  "replica_components_test.pdb"
+  "replica_components_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replica_components_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replica_edge_test.dir/replica_edge_test.cc.o"
+  "CMakeFiles/replica_edge_test.dir/replica_edge_test.cc.o.d"
+  "replica_edge_test"
+  "replica_edge_test.pdb"
+  "replica_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replica_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

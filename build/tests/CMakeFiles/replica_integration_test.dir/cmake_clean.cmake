@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replica_integration_test.dir/replica_integration_test.cc.o"
+  "CMakeFiles/replica_integration_test.dir/replica_integration_test.cc.o.d"
+  "replica_integration_test"
+  "replica_integration_test.pdb"
+  "replica_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replica_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serial_test.dir/serial_test.cc.o"
+  "CMakeFiles/serial_test.dir/serial_test.cc.o.d"
+  "serial_test"
+  "serial_test.pdb"
+  "serial_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

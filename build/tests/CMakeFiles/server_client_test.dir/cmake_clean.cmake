@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_client_test.dir/server_client_test.cc.o"
+  "CMakeFiles/server_client_test.dir/server_client_test.cc.o.d"
+  "server_client_test"
+  "server_client_test.pdb"
+  "server_client_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_client_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_state_test.dir/shared_state_test.cc.o"
+  "CMakeFiles/shared_state_test.dir/shared_state_test.cc.o.d"
+  "shared_state_test"
+  "shared_state_test.pdb"
+  "shared_state_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

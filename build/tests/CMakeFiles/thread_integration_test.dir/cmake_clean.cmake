@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thread_integration_test.dir/thread_integration_test.cc.o"
+  "CMakeFiles/thread_integration_test.dir/thread_integration_test.cc.o.d"
+  "thread_integration_test"
+  "thread_integration_test.pdb"
+  "thread_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thread_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

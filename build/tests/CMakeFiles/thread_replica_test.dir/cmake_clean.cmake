@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thread_replica_test.dir/thread_replica_test.cc.o"
+  "CMakeFiles/thread_replica_test.dir/thread_replica_test.cc.o.d"
+  "thread_replica_test"
+  "thread_replica_test.pdb"
+  "thread_replica_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thread_replica_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/serial_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/shared_state_test[1]_include.cmake")
+include("/root/repo/build/tests/core_components_test[1]_include.cmake")
+include("/root/repo/build/tests/replica_components_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/server_client_test[1]_include.cmake")
+include("/root/repo/build/tests/replica_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/thread_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/client_failure_test[1]_include.cmake")
+include("/root/repo/build/tests/replica_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/replica_chaos_test[1]_include.cmake")
+include("/root/repo/build/tests/peer_join_test[1]_include.cmake")
+include("/root/repo/build/tests/thread_replica_test[1]_include.cmake")
+include("/root/repo/build/tests/client_api_test[1]_include.cmake")
+include("/root/repo/build/tests/replica_cold_restart_test[1]_include.cmake")
