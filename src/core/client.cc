@@ -1,3 +1,5 @@
+// lint-file: thread-ok — see the thread-safety note in client.h: the API
+// mutex serializes app-thread calls against runtime-thread deliveries.
 #include "core/client.h"
 
 #include <algorithm>

@@ -17,6 +17,11 @@
 // while the application drives the API from its thread).  Callbacks run
 // with the client lock held on the runtime's delivery thread; they may call
 // back into the client (the lock is recursive) but should not block.
+//
+// lint-file: thread-ok — the API mutex above is exactly why this file is
+// the one protocol-layer exception to the no-raw-threading rule.  Under
+// the sim runtime the lock is always uncontended, so it adds no
+// nondeterminism.
 #pragma once
 
 #include <deque>

@@ -25,4 +25,27 @@ std::vector<NodeId> Group::notice_subscribers() const {
   return out;
 }
 
+InvariantReport Group::check_invariants() const {
+  InvariantReport rep;
+  rep.merge(state_.check_invariants());
+  rep.merge(locks_.check_invariants());
+  if (state_.head_seq() >= next_seq_) {
+    rep.fail("Group: head_seq " + std::to_string(state_.head_seq()) +
+             " >= next_seq " + std::to_string(next_seq_));
+  }
+  for (const auto& [obj, node] : locks_.all_holders()) {
+    if (!is_member(node)) {
+      rep.fail("Group: lock holder node:" + std::to_string(node.value) +
+               " for obj:" + std::to_string(obj.value) + " is not a member");
+    }
+  }
+  for (const auto& [obj, node] : locks_.all_waiters()) {
+    if (!is_member(node)) {
+      rep.fail("Group: lock waiter node:" + std::to_string(node.value) +
+               " for obj:" + std::to_string(obj.value) + " is not a member");
+    }
+  }
+  return rep;
+}
+
 }  // namespace corona

@@ -66,7 +66,14 @@ class Group {
     return seen_.contains({sender.value, rid});
   }
 
+  // Structural invariants: every applied seq precedes next_seq_; every lock
+  // holder and waiter is a current member (drop_member on leave/crash must
+  // keep this); plus the nested SharedState and LockTable invariants.
+  InvariantReport check_invariants() const;
+
  private:
+  friend struct GroupTestAccess;  // invariant tests corrupt internals
+
   GroupMeta meta_;
   SharedState state_;
   LockTable locks_;

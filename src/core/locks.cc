@@ -16,6 +16,7 @@ LockTable::AcquireOutcome LockTable::acquire(ObjectId object, NodeId who) {
     return AcquireOutcome::kAlreadyHeld;
   }
   e.queue.push_back(who);
+  CORONA_CHECK_INVARIANTS(*this);
   return AcquireOutcome::kQueued;
 }
 
@@ -34,6 +35,7 @@ Result<std::optional<NodeId>> LockTable::release(ObjectId object, NodeId who) {
   }
   e.holder = e.queue.front();
   e.queue.pop_front();
+  CORONA_CHECK_INVARIANTS(*this);
   return std::optional<NodeId>{e.holder};
 }
 
@@ -54,7 +56,42 @@ std::vector<std::pair<ObjectId, NodeId>> LockTable::drop_member(NodeId who) {
     }
     ++it;
   }
+  CORONA_CHECK_INVARIANTS(*this);
   return grants;
+}
+
+std::vector<std::pair<ObjectId, NodeId>> LockTable::all_holders() const {
+  std::vector<std::pair<ObjectId, NodeId>> out;
+  out.reserve(locks_.size());
+  for (const auto& [obj, e] : locks_) out.emplace_back(obj, e.holder);
+  return out;
+}
+
+std::vector<std::pair<ObjectId, NodeId>> LockTable::all_waiters() const {
+  std::vector<std::pair<ObjectId, NodeId>> out;
+  for (const auto& [obj, e] : locks_) {
+    for (NodeId w : e.queue) out.emplace_back(obj, w);
+  }
+  return out;
+}
+
+InvariantReport LockTable::check_invariants() const {
+  InvariantReport rep;
+  for (const auto& [obj, e] : locks_) {
+    std::vector<NodeId> seen;
+    for (NodeId w : e.queue) {
+      if (w == e.holder) {
+        rep.fail("LockTable: holder node:" + std::to_string(e.holder.value) +
+                 " also queued for obj:" + std::to_string(obj.value));
+      }
+      if (std::find(seen.begin(), seen.end(), w) != seen.end()) {
+        rep.fail("LockTable: node:" + std::to_string(w.value) +
+                 " queued twice for obj:" + std::to_string(obj.value));
+      }
+      seen.push_back(w);
+    }
+  }
+  return rep;
 }
 
 std::optional<NodeId> LockTable::holder(ObjectId object) const {

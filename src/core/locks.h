@@ -9,9 +9,11 @@
 #include <deque>
 #include <map>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "util/ids.h"
+#include "util/invariant.h"
 #include "util/result.h"
 
 namespace corona {
@@ -38,7 +40,19 @@ class LockTable {
   std::optional<NodeId> holder(ObjectId object) const;
   std::size_t waiters(ObjectId object) const;
 
+  // Every (object, holder) pair, in object order.
+  std::vector<std::pair<ObjectId, NodeId>> all_holders() const;
+  // Every (object, waiter) pair, in object then FIFO-queue order.
+  std::vector<std::pair<ObjectId, NodeId>> all_waiters() const;
+
+  // Structural invariants: a holder is never also queued for the same
+  // object, and the FIFO queue holds no duplicates (both would make a
+  // grant fire twice or never).
+  InvariantReport check_invariants() const;
+
  private:
+  friend struct LockTableTestAccess;  // invariant tests corrupt internals
+
   struct Entry {
     NodeId holder;
     std::deque<NodeId> queue;

@@ -15,8 +15,8 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <optional>
-#include <unordered_map>
 
 #include "serial/message.h"
 #include "util/ids.h"
@@ -65,7 +65,7 @@ class QosScheduler {
 
   Config config_;
   std::deque<Waiting> classes_[kClasses];
-  std::unordered_map<GroupId, int> group_class_;
+  std::map<GroupId, int> group_class_;
   std::uint64_t enqueued_ = 0;
   std::uint64_t shed_ = 0;
   std::uint64_t promoted_ = 0;

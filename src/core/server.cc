@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/invariant.h"
 #include "util/logging.h"
 
 namespace corona {
@@ -47,6 +48,7 @@ void CoronaServer::recover_from_store() {
       head = u.seq;
     }
     group.set_next_seq(head + 1);
+    CORONA_CHECK_INVARIANTS(group);
     const GroupId id = rg.meta.id;
     groups_.erase(id);
     groups_.emplace(id, std::move(group));
@@ -397,6 +399,7 @@ void CoronaServer::handle_leave(NodeId from, const Message& m) {
   send(from, make_reply(Status::ok(), m.request_id));
   send_membership_notices(*group, from, MemberRole::kPrincipal,
                           /*joined=*/false);
+  CORONA_CHECK_INVARIANTS(*group);
 
   // Transient groups cease to exist at null membership; persistent groups
   // and their shared state outlive their members (§3.1).
@@ -511,6 +514,7 @@ void CoronaServer::sequence_and_deliver(Group& group, UpdateRecord rec,
 
   deliver_to_members(group, rec, sender_inclusive, sender);
   if (config_.stateful) maybe_reduce(group);
+  CORONA_CHECK_INVARIANTS(group);
 }
 
 void CoronaServer::deliver_to_members(Group& group, const UpdateRecord& rec,
@@ -707,6 +711,7 @@ void CoronaServer::drop_member_everywhere(NodeId who) {
     }
     send_membership_notices(group, who, MemberRole::kPrincipal,
                             /*joined=*/false);
+    CORONA_CHECK_INVARIANTS(group);
     if (group.member_count() == 0 && !group.persistent()) to_erase.push_back(gid);
   }
   for (GroupId gid : to_erase) {

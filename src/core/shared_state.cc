@@ -18,6 +18,7 @@ void SharedState::load(SeqNo base_seq, const std::vector<StateEntry>& snapshot) 
     objects_[s.object] = s.data;
     base_objects_[s.object] = s.data;
   }
+  CORONA_CHECK_INVARIANTS(*this);
 }
 
 void SharedState::apply_to(std::map<ObjectId, Bytes>& objects,
@@ -43,6 +44,7 @@ void SharedState::apply(const UpdateRecord& rec) {
   apply_to(objects_, rec);
   history_bytes_ += rec.data.size();
   history_.push_back(rec);
+  CORONA_CHECK_INVARIANTS(*this);
 }
 
 std::vector<StateEntry> SharedState::snapshot() const {
@@ -110,7 +112,42 @@ std::size_t SharedState::reduce_to(SeqNo upto) {
     ++dropped;
   }
   base_seq_ = upto;
+  CORONA_CHECK_INVARIANTS(*this);
   return dropped;
+}
+
+InvariantReport SharedState::check_invariants() const {
+  InvariantReport rep;
+  if (base_seq_ > head_seq_) {
+    rep.fail("SharedState: base_seq " + std::to_string(base_seq_) +
+             " > head_seq " + std::to_string(head_seq_));
+  }
+  SeqNo prev = base_seq_;
+  for (const UpdateRecord& r : history_) {
+    if (r.seq <= prev) {
+      rep.fail("SharedState: history seq " + std::to_string(r.seq) +
+               " does not ascend past " + std::to_string(prev));
+    }
+    prev = r.seq;
+  }
+  if (!history_.empty() && history_.back().seq != head_seq_) {
+    rep.fail("SharedState: newest history seq " +
+             std::to_string(history_.back().seq) + " != head_seq " +
+             std::to_string(head_seq_));
+  }
+  std::uint64_t hist_bytes = 0;
+  for (const UpdateRecord& r : history_) hist_bytes += r.data.size();
+  if (hist_bytes != history_bytes_) {
+    rep.fail("SharedState: history_bytes " + std::to_string(history_bytes_) +
+             " != recomputed " + std::to_string(hist_bytes));
+  }
+  std::uint64_t obj_bytes = 0;
+  for (const auto& [id, data] : objects_) obj_bytes += data.size();
+  if (obj_bytes != state_bytes_) {
+    rep.fail("SharedState: state_bytes " + std::to_string(state_bytes_) +
+             " != recomputed " + std::to_string(obj_bytes));
+  }
+  return rep;
 }
 
 std::vector<StateEntry> SharedState::snapshot_at_base() const {

@@ -28,6 +28,7 @@
 #include "serial/message.h"
 #include "util/bytes.h"
 #include "util/ids.h"
+#include "util/invariant.h"
 
 namespace corona {
 
@@ -79,7 +80,16 @@ class SharedState {
   // is clamped to head_seq().  Returns the number of records dropped.
   std::size_t reduce_to(SeqNo upto);
 
+  // Structural invariants: base_seq <= head_seq; history seqs strictly
+  // ascend within (base_seq, head_seq] and end exactly at head_seq; the
+  // byte accounting matches the retained records and objects.  (History
+  // records need not be *contiguous*: object-filtered joins install
+  // filtered tails on clients.)
+  InvariantReport check_invariants() const;
+
  private:
+  friend struct SharedStateTestAccess;  // invariant tests corrupt internals
+
   static void apply_to(std::map<ObjectId, Bytes>& objects,
                        const UpdateRecord& rec);
 

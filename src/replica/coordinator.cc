@@ -14,14 +14,50 @@ ReplicaServer::CoordGroup* ReplicaServer::coord_find(GroupId g) {
   return it != cgroups_.end() ? &it->second : nullptr;
 }
 
+InvariantReport ReplicaServer::CoordGroup::check_invariants() const {
+  InvariantReport rep;
+  rep.merge(state.check_invariants());
+  rep.merge(locks.check_invariants());
+  if (next_seq != state.head_seq() + 1) {
+    rep.fail("CoordGroup: next_seq " + std::to_string(next_seq) +
+             " != head_seq+1 " + std::to_string(state.head_seq() + 1));
+  }
+  // The authoritative copy applies every sequenced record, so its retained
+  // history is gapless over (base_seq, head_seq] — unlike client copies,
+  // which may hold object-filtered tails.
+  SeqNo expect = state.base_seq();
+  for (const UpdateRecord& r : state.history()) {
+    ++expect;
+    if (r.seq != expect) {
+      rep.fail("CoordGroup: history gap — expected seq " +
+               std::to_string(expect) + ", found " + std::to_string(r.seq));
+      expect = r.seq;
+    }
+  }
+  for (const auto& [obj, node] : locks.all_holders()) {
+    if (!members.contains(node)) {
+      rep.fail("CoordGroup: lock holder node:" + std::to_string(node.value) +
+               " for obj:" + std::to_string(obj.value) + " is not a member");
+    }
+  }
+  for (const auto& [obj, node] : locks.all_waiters()) {
+    if (!members.contains(node)) {
+      rep.fail("CoordGroup: lock waiter node:" + std::to_string(node.value) +
+               " for obj:" + std::to_string(obj.value) + " is not a member");
+    }
+  }
+  return rep;
+}
+
 void ReplicaServer::become_coordinator(std::uint64_t term) {
   const NodeId old_coordinator = coordinator_;
   role_ = Role::kCoordinator;
   coordinator_ = id();
-  term_ = std::max(term_, term);
+  term_ = std::max<std::uint64_t>(term_, term);
   tally_.finish();
   ++stats_.elections_won;
-  LOG_INFO("replica", "server ", id().value, " is coordinator, term ", term_);
+  LOG_INFO("replica", "server ", id().value, " is coordinator, term ",
+           term_.load());
 
   if (!(old_coordinator == id())) registry_.remove(old_coordinator);
   registry_.set_servers(registry_.servers(), term_);
@@ -48,6 +84,7 @@ void ReplicaServer::become_coordinator(std::uint64_t term) {
     for (const UpdateRecord& u : lg.state.history()) {
       cg.seen.emplace(u.sender.value, u.request_id);
     }
+    CORONA_CHECK_INVARIANTS(cg);
     cgroups_.emplace(g, std::move(cg));
     if (!store_->has_group(g)) {
       store_->create_group(local_.at(g).meta, lg.state.snapshot_at_base());
@@ -83,6 +120,7 @@ void ReplicaServer::become_coordinator(std::uint64_t term) {
       head = u.seq;
     }
     cg.next_seq = head + 1;
+    CORONA_CHECK_INVARIANTS(cg);
     LOG_INFO("replica", "coordinator recovered ", rg.meta.id,
              " head=", head);
     cgroups_.emplace(rg.meta.id, std::move(cg));
@@ -137,6 +175,7 @@ void ReplicaServer::coord_drop_server(NodeId leaf) {
       }
       coord_send_notice(cg, client, MemberRole::kPrincipal, /*joined=*/false);
     }
+    CORONA_CHECK_INVARIANTS(cg);
   }
   // Restore the hot-standby invariant for groups that lost a copy.
   for (GroupId g : repl_.drop_server(leaf)) {
@@ -218,6 +257,7 @@ void ReplicaServer::coord_sequence(CoordGroup& cg, UpdateRecord rec,
   for (NodeId holder : repl_.holders(cg.meta.id)) {
     send(holder, out);
   }
+  CORONA_CHECK_INVARIANTS(cg);
 }
 
 void ReplicaServer::coord_handle_resend(NodeId from, const Message& m) {
@@ -341,6 +381,7 @@ void ReplicaServer::coord_op_leave(NodeId leaf, const Message& m) {
     coord_route_lock_grant(m.group, obj, grantee);
   }
   coord_send_notice(*cg, m.sender, m.role, /*joined=*/false);
+  CORONA_CHECK_INVARIANTS(*cg);
 
   // Does the leaf still support members of this group?
   bool still_supports = false;
@@ -602,6 +643,7 @@ void ReplicaServer::coord_handle_takeover_state(NodeId from, const Message& m) {
     cg.seen.emplace(u.sender.value, u.request_id);
   }
   cg.next_seq = cg.state.head_seq() + 1;
+  CORONA_CHECK_INVARIANTS(cg);
   coord_persist_create(cg);
   cgroups_.insert_or_assign(m.group, std::move(cg));
   coord_finish_takeover();
@@ -691,7 +733,7 @@ void ReplicaServer::coord_handle_digest_request(NodeId from, const Message& m) {
 void ReplicaServer::coord_handle_digest_reply(NodeId from, const Message& m) {
   if (!reconcile_.active || !(from == reconcile_.other)) return;
   if (m.group == GroupId(0)) {
-    term_ = std::max(term_, m.epoch);  // out-term the other side's epoch
+    term_ = std::max<std::uint64_t>(term_, m.epoch);  // out-term their epoch
     coord_finish_reconcile();
     return;
   }
@@ -708,6 +750,7 @@ void ReplicaServer::coord_handle_digest_reply(NodeId from, const Message& m) {
       cg.seen.emplace(u.sender.value, u.request_id);
     }
     cg.next_seq = cg.state.head_seq() + 1;
+    CORONA_CHECK_INVARIANTS(cg);
     coord_persist_create(cg);
     cgroups_.emplace(m.group, std::move(cg));
     ++stats_.reconciled_groups;
@@ -783,6 +826,7 @@ void ReplicaServer::coord_install_merged(GroupId g, SeqNo fork,
   }
   cg.state = std::move(merged);
   cg.next_seq = seq + 1;
+  CORONA_CHECK_INVARIANTS(cg);
   store_->install_checkpoint(g, cg.state.base_seq(),
                              cg.state.snapshot_at_base());
 }
@@ -829,6 +873,7 @@ void ReplicaServer::coord_handle_push(NodeId from, const Message& m) {
   cg.next_seq = cg.state.head_seq() + 1;
   auto old = cgroups_.find(m.group);
   if (old != cgroups_.end()) cg.members = std::move(old->second.members);
+  CORONA_CHECK_INVARIANTS(cg);
   coord_persist_create(cg);
   store_->install_checkpoint(m.group, cg.state.base_seq(),
                              cg.state.snapshot_at_base());
@@ -851,7 +896,7 @@ void ReplicaServer::coord_handle_push(NodeId from, const Message& m) {
 
 void ReplicaServer::coord_finish_reconcile() {
   reconcile_.active = false;
-  term_ = std::max(term_, voted_term_) + 1;
+  term_ = std::max<std::uint64_t>(term_, voted_term_) + 1;
   registry_.set_servers(registry_.servers(), term_);
   // Absorb the other side: a higher-term announce demotes its coordinator,
   // which relays to its leaves; hellos and re-registrations rebuild the

@@ -1,7 +1,5 @@
 #include "replica/failure_detector.h"
 
-#include <algorithm>
-
 namespace corona {
 
 void FailureDetector::watch(NodeId peer, TimePoint now) {
@@ -20,7 +18,6 @@ std::vector<NodeId> FailureDetector::suspects(TimePoint now) const {
   for (const auto& [peer, last] : last_heard_) {
     if (now - last > timeout_) out.push_back(peer);
   }
-  std::sort(out.begin(), out.end());
   return out;
 }
 

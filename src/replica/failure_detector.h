@@ -8,7 +8,7 @@
 // model — a suspect is treated as crashed.
 #pragma once
 
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "util/ids.h"
@@ -38,7 +38,8 @@ class FailureDetector {
 
  private:
   Duration timeout_;
-  std::unordered_map<NodeId, TimePoint> last_heard_;
+  // Ordered so suspects() reports in NodeId order without a sort pass.
+  std::map<NodeId, TimePoint> last_heard_;
 };
 
 }  // namespace corona

@@ -48,7 +48,7 @@ std::vector<GroupHead> ReplicaServer::local_group_heads() const {
 void ReplicaServer::adopt_coordinator(NodeId coord, std::uint64_t term) {
   role_ = Role::kLeaf;
   coordinator_ = coord;
-  term_ = std::max(term_, term);
+  term_ = std::max<std::uint64_t>(term_, term);
   coord_fd_.unwatch(coordinator_);
   coord_fd_.watch(coordinator_, now());
   tally_.finish();
@@ -634,7 +634,7 @@ void ReplicaServer::leaf_check_coordinator() {
 }
 
 void ReplicaServer::start_claim() {
-  const std::uint64_t claim_term = std::max(term_, voted_term_) + 1;
+  const std::uint64_t claim_term = std::max<std::uint64_t>(term_, voted_term_) + 1;
   const std::size_t remaining =
       registry_.size() - (registry_.contains(coordinator_) ? 1 : 0);
   tally_.start(claim_term, remaining);

@@ -27,6 +27,7 @@
 //                election; drive partition reconciliation.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <optional>
@@ -46,6 +47,7 @@
 #include "serial/message.h"
 #include "storage/group_store.h"
 #include "util/ids.h"
+#include "util/invariant.h"
 
 namespace corona {
 
@@ -174,6 +176,12 @@ class ReplicaServer : public Node {
     std::map<NodeId, CoordMemberInfo> members;  // client -> info
     LockTable locks;
     std::set<std::pair<std::uint64_t, RequestId>> seen;
+
+    // Sequencer invariants: the next sequence number to hand out is exactly
+    // head_seq+1 (the sequencer never skips or reuses a number), the
+    // authoritative history has no gaps, and every lock holder/waiter is a
+    // current member; plus the nested SharedState/LockTable invariants.
+    InvariantReport check_invariants() const;
   };
 
   void coord_handle_fwd_multicast(NodeId from, const Message& m);
@@ -216,9 +224,12 @@ class ReplicaServer : public Node {
 
   // ====================== data =======================================
   ReplicaConfig cfg_;
-  Role role_ = Role::kLeaf;
-  NodeId coordinator_;
-  std::uint64_t term_ = 0;      // announce/election term
+  // role_/coordinator_/term_ are written only by the owning node's thread
+  // but read cross-thread through the introspection getters (the threaded
+  // tests poll them mid-election), hence atomic.
+  std::atomic<Role> role_ = Role::kLeaf;
+  std::atomic<NodeId> coordinator_;
+  std::atomic<std::uint64_t> term_ = 0;  // announce/election term
   std::uint64_t voted_term_ = 0;
   ServerRegistry registry_;
   ReplicaStats stats_;

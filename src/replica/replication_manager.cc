@@ -9,6 +9,7 @@ void ReplicationManager::add_supporting_server(GroupId g, NodeId server) {
   c.supporting.insert(server);
   // A member-driven copy subsumes a backup assignment.
   c.backups.erase(server);
+  CORONA_CHECK_INVARIANTS(*this);
 }
 
 void ReplicationManager::remove_supporting_server(GroupId g, NodeId server) {
@@ -20,6 +21,7 @@ void ReplicationManager::remove_supporting_server(GroupId g, NodeId server) {
 void ReplicationManager::add_backup(GroupId g, NodeId server) {
   Copies& c = copies_[g];
   if (!c.supporting.contains(server)) c.backups.insert(server);
+  CORONA_CHECK_INVARIANTS(*this);
 }
 
 void ReplicationManager::remove_backup(GroupId g, NodeId server) {
@@ -74,6 +76,20 @@ std::optional<NodeId> ReplicationManager::pick_backup(
     if (!is_holder(g, c)) return c;
   }
   return std::nullopt;
+}
+
+InvariantReport ReplicationManager::check_invariants() const {
+  InvariantReport rep;
+  for (const auto& [g, c] : copies_) {
+    for (NodeId s : c.supporting) {
+      if (c.backups.contains(s)) {
+        rep.fail("ReplicationManager: node:" + std::to_string(s.value) +
+                 " is both supporting and backup for group:" +
+                 std::to_string(g.value));
+      }
+    }
+  }
+  return rep;
 }
 
 std::vector<NodeId> ReplicationManager::releasable_backups(GroupId g) const {

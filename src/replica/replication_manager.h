@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "util/ids.h"
+#include "util/invariant.h"
 
 namespace corona {
 
@@ -53,7 +54,15 @@ class ReplicationManager {
   // released; returns such backups.
   std::vector<NodeId> releasable_backups(GroupId g) const;
 
+  // Structural invariant: a server is never both a supporting copy and a
+  // backup for the same group (a member-driven copy subsumes the backup
+  // assignment — double-counting would inflate copy_count and starve
+  // pick_backup).
+  InvariantReport check_invariants() const;
+
  private:
+  friend struct ReplicationManagerTestAccess;  // invariant tests corrupt state
+
   struct Copies {
     std::set<NodeId> supporting;
     std::set<NodeId> backups;

@@ -27,12 +27,52 @@ bool EventQueue::run_next() {
       --live_count_;
       continue;
     }
+    CORONA_INVARIANT(e.at >= now_,
+                     "EventQueue: virtual time would run backwards");
     now_ = e.at;
     --live_count_;
     e.fn();
     return true;
   }
   return false;
+}
+
+InvariantReport EventQueue::check_invariants() const {
+  InvariantReport rep;
+  std::vector<EventId> queued;
+  auto heap = heap_;  // walk by draining a copy; heap_ itself is untouched
+  while (!heap.empty()) {
+    const Entry& e = heap.top();
+    if (e.at < now_) {
+      rep.fail("EventQueue: event id:" + std::to_string(e.id) + " at " +
+               std::to_string(e.at) + " is before now " + std::to_string(now_));
+    }
+    if (e.id >= next_id_) {
+      rep.fail("EventQueue: event id:" + std::to_string(e.id) +
+               " >= next_id " + std::to_string(next_id_));
+    }
+    queued.push_back(e.id);
+    heap.pop();
+  }
+  std::sort(queued.begin(), queued.end());
+  for (std::size_t i = 1; i < queued.size(); ++i) {
+    if (queued[i] == queued[i - 1]) {
+      rep.fail("EventQueue: duplicate event id:" + std::to_string(queued[i]));
+    }
+  }
+  for (EventId c : cancelled_) {
+    if (!std::binary_search(queued.begin(), queued.end(), c)) {
+      rep.fail("EventQueue: cancelled id:" + std::to_string(c) +
+               " is not queued (cancellation must be lazy)");
+    }
+  }
+  // Cancellation is fully lazy: a cancelled entry stays queued AND counted
+  // until run_next pops it, so the live count always equals the heap size.
+  if (live_count_ != queued.size()) {
+    rep.fail("EventQueue: live_count " + std::to_string(live_count_) +
+             " != queued " + std::to_string(queued.size()));
+  }
+  return rep;
 }
 
 }  // namespace corona

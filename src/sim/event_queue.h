@@ -10,6 +10,7 @@
 #include <queue>
 #include <vector>
 
+#include "util/invariant.h"
 #include "util/time.h"
 
 namespace corona {
@@ -35,7 +36,16 @@ class EventQueue {
   // Runs the next live event; returns false if none remain.
   bool run_next();
 
+  // Structural invariants: virtual time never runs backwards (every queued
+  // event fires at or after now), event ids are unique and below next_id_,
+  // live_count_ matches the queued population (cancellation is fully lazy:
+  // a cancelled entry stays queued and counted until popped), and every
+  // cancelled id is still queued.
+  InvariantReport check_invariants() const;
+
  private:
+  friend struct EventQueueTestAccess;  // invariant tests corrupt internals
+
   struct Entry {
     TimePoint at;
     EventId id;

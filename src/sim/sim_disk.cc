@@ -7,8 +7,9 @@ namespace corona {
 
 TimePoint SimDisk::write(std::size_t size, TimePoint now) {
   const TimePoint start = std::max(now, free_at_);
+  // Per-op rate expression, llround()ed immediately — no float state.
   const auto xfer = static_cast<Duration>(std::llround(
-      static_cast<double>(size) / profile_.bytes_per_sec * 1e6));
+      static_cast<double>(size) / profile_.bytes_per_sec * 1e6));  // lint: float-ok
   free_at_ = start + profile_.per_op_us + xfer;
   bytes_written_ += size;
   ++ops_;

@@ -16,7 +16,8 @@
 namespace corona {
 
 struct DiskProfile {
-  double bytes_per_sec = 4.0e6;  // paper: 3-5 MB/s
+  // Rate knob, not an accumulator: write() rounds to integral us per op.
+  double bytes_per_sec = 4.0e6;  // paper: 3-5 MB/s; lint: float-ok
   Duration per_op_us = 500;      // seek/rotational + syscall overhead
 
   static DiskProfile nineties_disk() { return {}; }

@@ -39,14 +39,18 @@ HostProfile HostProfile::sparc20() {
   return p;
 }
 
+// Per-message expressions over calibration knobs, rounded to integral us
+// before they touch any timeline — no running float state.
 Duration HostProfile::send_cost(std::size_t size) const {
-  return static_cast<Duration>(
-      std::llround(send_per_msg_us + send_per_byte_us * static_cast<double>(size)));
+  return static_cast<Duration>(std::llround(
+      send_per_msg_us +  // lint: float-ok
+      send_per_byte_us * static_cast<double>(size)));  // lint: float-ok
 }
 
 Duration HostProfile::recv_cost(std::size_t size) const {
-  return static_cast<Duration>(
-      std::llround(recv_per_msg_us + recv_per_byte_us * static_cast<double>(size)));
+  return static_cast<Duration>(std::llround(
+      recv_per_msg_us +  // lint: float-ok
+      recv_per_byte_us * static_cast<double>(size)));  // lint: float-ok
 }
 
 SimNetwork::SimNetwork() = default;
@@ -110,8 +114,9 @@ std::vector<std::optional<TimePoint>> SimNetwork::transmit_multicast(
   TimePoint tx_end = wire_ready;
   if (shared_bytes_per_sec_ > 0) {
     const TimePoint tx_start = std::max(wire_ready, medium_free_at_);
+    // Per-message rate expression, llround()ed immediately.
     const auto tx_time = static_cast<Duration>(std::llround(
-        static_cast<double>(size) / shared_bytes_per_sec_ * 1e6));
+        static_cast<double>(size) / shared_bytes_per_sec_ * 1e6));  // lint: float-ok
     tx_end = tx_start + tx_time;
     medium_free_at_ = tx_end;
   }
@@ -163,8 +168,9 @@ std::optional<TimePoint> SimNetwork::transmit(NodeId from, NodeId to,
   TimePoint tx_end = wire_ready;
   if (from_host != to_host && shared_bytes_per_sec_ > 0) {
     const TimePoint tx_start = std::max(wire_ready, medium_free_at_);
+    // Per-message rate expression, llround()ed immediately.
     const auto tx_time = static_cast<Duration>(std::llround(
-        static_cast<double>(size) / shared_bytes_per_sec_ * 1e6));
+        static_cast<double>(size) / shared_bytes_per_sec_ * 1e6));  // lint: float-ok
     tx_end = tx_start + tx_time;
     medium_free_at_ = tx_end;
   }

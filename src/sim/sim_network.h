@@ -24,9 +24,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
+#include <set>
 #include <vector>
 
 #include "util/ids.h"
@@ -37,10 +37,12 @@ namespace corona {
 // Per-host CPU cost model, in microseconds.  Calibrated profiles approximate
 // the paper's machines; see bench/scenario.h for the calibration notes.
 struct HostProfile {
-  double send_per_msg_us = 50.0;
-  double send_per_byte_us = 0.02;
-  double recv_per_msg_us = 50.0;
-  double recv_per_byte_us = 0.02;
+  // Calibration knobs, not accumulators: every cost derived from them is
+  // llround()ed to integral microseconds before entering any timeline.
+  double send_per_msg_us = 50.0;   // lint: float-ok
+  double send_per_byte_us = 0.02;  // lint: float-ok
+  double recv_per_msg_us = 50.0;   // lint: float-ok
+  double recv_per_byte_us = 0.02;  // lint: float-ok
 
   // "UltraSparc 1, 64 MB, Solaris" running the Java server (paper §5.2).
   static HostProfile ultrasparc();
@@ -77,7 +79,7 @@ class SimNetwork {
 
   // Shared-medium bandwidth in bytes per second; 0 disables the medium
   // (infinite bandwidth).  10 Mbps Ethernet ~ 1.25e6 B/s.
-  void set_shared_bandwidth(double bytes_per_sec) {
+  void set_shared_bandwidth(double bytes_per_sec) {  // lint: float-ok
     shared_bytes_per_sec_ = bytes_per_sec;
   }
 
@@ -144,13 +146,14 @@ class SimNetwork {
   std::uint32_t cell_of(NodeId node) const;
 
   std::vector<Host> hosts_;
-  std::unordered_map<NodeId, HostId> placement_;
-  std::unordered_map<std::uint64_t, Duration> pair_latency_;  // key: a<<32|b
-  std::unordered_set<NodeId> crashed_;
-  std::unordered_map<NodeId, std::uint32_t> partition_cell_;
+  std::map<NodeId, HostId> placement_;
+  std::map<std::uint64_t, Duration> pair_latency_;  // key: a<<32|b
+  std::set<NodeId> crashed_;
+  std::map<NodeId, std::uint32_t> partition_cell_;
   Duration default_latency_ = 300;  // us
   Duration loopback_latency_ = 30;  // us
-  double shared_bytes_per_sec_ = 1.25e6;  // 10 Mbps Ethernet
+  // Rate knob; tx times are llround()ed to integral us at use.
+  double shared_bytes_per_sec_ = 1.25e6;  // 10 Mbps; lint: float-ok
   TimePoint medium_free_at_ = 0;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t messages_sent_ = 0;

@@ -1,0 +1,93 @@
+// CORONA_INVARIANT — the runtime half of the analysis net (see
+// docs/ANALYSIS.md).
+//
+// The stateful cores (LockTable, SharedState, Group, ReplicationManager,
+// the coordinator's groups, the sim EventQueue) each expose a
+// `check_invariants()` walk that returns an InvariantReport describing
+// every structural violation it finds.  The walks are always compiled —
+// tests corrupt a structure and assert the walk notices — but the *inline
+// checkpoints* (CORONA_INVARIANT / CORONA_CHECK_INVARIANTS sprinkled at
+// mutation sites) are active only in Debug and sanitizer builds and
+// compile to nothing in Release, so the hot path pays nothing.
+//
+// A failed checkpoint calls the installed handler; the default prints the
+// diagnosis and aborts.  Tests install a recording handler to observe
+// failures without dying.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace corona {
+
+// Accumulates violation descriptions from a check_invariants() walk.
+class InvariantReport {
+ public:
+  // Records one violated invariant; `what` should name the structure and
+  // the property, e.g. "LockTable: holder node:3 also queued for obj:7".
+  void fail(std::string what) { violations_.push_back(std::move(what)); }
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<std::string>& violations() const { return violations_; }
+  // All violations joined with "; " (empty string when ok).
+  std::string to_string() const;
+
+  // Folds another report in (used by composite walks, e.g. Group folding
+  // in its LockTable's and SharedState's reports).
+  void merge(const InvariantReport& other);
+
+ private:
+  std::vector<std::string> violations_;
+};
+
+// Called by a failed CORONA_INVARIANT / CORONA_CHECK_INVARIANTS.  The
+// default handler prints file:line, the expression and the message to
+// stderr and aborts.  Tests may install their own; the previous handler is
+// returned so it can be restored.
+using InvariantHandler = void (*)(const char* file, int line,
+                                  const char* expr, const char* message);
+InvariantHandler set_invariant_handler(InvariantHandler handler);
+void invariant_failed(const char* file, int line, const char* expr,
+                      const char* message);
+
+}  // namespace corona
+
+// Active in Debug builds (no NDEBUG) and whenever the build forces them on
+// (sanitizer presets define CORONA_FORCE_INVARIANTS; see CMakeLists.txt).
+#if defined(CORONA_FORCE_INVARIANTS) || !defined(NDEBUG)
+#define CORONA_INVARIANTS_ENABLED 1
+#else
+#define CORONA_INVARIANTS_ENABLED 0
+#endif
+
+#if CORONA_INVARIANTS_ENABLED
+// Checks a single condition at a checkpoint.
+#define CORONA_INVARIANT(cond, message)                                    \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::corona::invariant_failed(__FILE__, __LINE__, #cond, (message));    \
+    }                                                                      \
+  } while (0)
+// Runs a component's full check_invariants() walk at a checkpoint.
+#define CORONA_CHECK_INVARIANTS(component)                                 \
+  do {                                                                     \
+    const ::corona::InvariantReport corona_rep_ =                          \
+        (component).check_invariants();                                    \
+    if (!corona_rep_.ok()) {                                               \
+      ::corona::invariant_failed(__FILE__, __LINE__, #component,           \
+                                 corona_rep_.to_string().c_str());         \
+    }                                                                      \
+  } while (0)
+#else
+// Compiled out, but still odr-uses the operands so builds stay warning-free
+// in both modes.
+#define CORONA_INVARIANT(cond, message) \
+  do {                                  \
+    (void)sizeof(!(cond));              \
+    (void)sizeof(message);              \
+  } while (0)
+#define CORONA_CHECK_INVARIANTS(component) \
+  do {                                     \
+    (void)sizeof(&(component));            \
+  } while (0)
+#endif

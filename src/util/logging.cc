@@ -1,3 +1,5 @@
+// lint-file: thread-ok — the singleton logger serializes writes from every
+// node thread under ThreadRuntime (see logging.h).
 #include "util/logging.h"
 
 #include <iostream>

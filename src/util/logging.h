@@ -25,7 +25,9 @@ class Logger {
 
  private:
   Logger() = default;
-  mutable std::mutex mu_;
+  // The logger is shared by every node thread under ThreadRuntime, so line
+  // assembly must be serialized; it never feeds back into protocol state.
+  mutable std::mutex mu_;  // lint: thread-ok
   LogLevel level_ = LogLevel::kWarn;
 };
 

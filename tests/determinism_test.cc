@@ -1,0 +1,134 @@
+// Determinism smoke test: the simulator promises bit-reproducible runs, and
+// the corona-lint rules (no wall clocks, no unordered iteration, seeded RNG
+// only) exist to keep that promise.  This test runs the same seeded workload
+// twice from scratch and asserts the full delivery traces — every client's
+// every delivery, with payload checksums and virtual timestamps — and the
+// server-side counters serialize to byte-identical strings.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "harness.h"
+#include "util/rng.h"
+
+namespace corona::testing {
+namespace {
+
+std::uint64_t fnv1a(const Bytes& data) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void append_trace(std::ostringstream& out, const DeliveryLog& log) {
+  for (const DeliveryLog::Entry& e : log.entries) {
+    out << "c" << e.client.value << " g" << e.group.value << " seq"
+        << e.rec.seq << " obj" << e.rec.object.value << " t"
+        << e.rec.timestamp << " h" << fnv1a(e.rec.data) << "\n";
+  }
+}
+
+// A seeded mixed workload: updates and state replacements of random sizes to
+// random objects, interleaved with a mid-run join and a log reduction.
+std::string run_single_server(std::uint64_t seed) {
+  DeliveryLog log;
+  SingleServerWorld w(3, ServerConfig{});
+  for (std::size_t i = 0; i < w.clients.size(); ++i) {
+    w.client(i).set_callbacks(log.callbacks_for(client_id(i)));
+  }
+  const GroupId g{1};
+  w.client(0).create_group(g, "det", /*persistent=*/true);
+  w.settle();
+  w.client(0).join(g);
+  w.client(1).join(g);
+  w.settle();
+
+  Rng rng(seed);
+  for (int i = 0; i < 40; ++i) {
+    const std::size_t who = rng.next_below(2);
+    const ObjectId obj{1 + rng.next_below(3)};
+    Bytes payload(16 + rng.next_below(48));
+    for (std::uint8_t& b : payload) {
+      b = static_cast<std::uint8_t>(rng.next_u64());
+    }
+    if (rng.next_bool(0.25)) {
+      w.client(who).bcast_state(g, obj, std::move(payload));
+    } else {
+      w.client(who).bcast_update(g, obj, std::move(payload));
+    }
+    if (i == 20) w.client(2).join(g);  // join against a warm history
+    if (i == 30) w.client(0).reduce_log(g);
+    w.rt.run_for(10 * kMillisecond);
+  }
+  w.settle();
+
+  std::ostringstream out;
+  append_trace(out, log);
+  const ServerStats& st = w.server->stats();
+  out << "sequenced=" << st.messages_sequenced
+      << " deliveries=" << st.deliveries_sent
+      << " bytes=" << st.delivery_bytes << " joins=" << st.joins_served
+      << " reductions=" << st.reductions << " now=" << w.rt.now() << "\n";
+  return out.str();
+}
+
+std::string run_replicated(std::uint64_t seed) {
+  DeliveryLog log;
+  ReplicatedWorld w(3, 4);
+  for (std::size_t i = 0; i < w.clients.size(); ++i) {
+    w.client(i).set_callbacks(log.callbacks_for(client_id(i)));
+  }
+  const GroupId g{1};
+  w.client(0).create_group(g, "det", /*persistent=*/true);
+  w.settle();
+  for (std::size_t i = 0; i < w.clients.size(); ++i) w.client(i).join(g);
+  w.settle();
+
+  Rng rng(seed);
+  for (int i = 0; i < 30; ++i) {
+    const std::size_t who = rng.next_below(w.clients.size());
+    const ObjectId obj{1 + rng.next_below(2)};
+    Bytes payload(8 + rng.next_below(64));
+    for (std::uint8_t& b : payload) {
+      b = static_cast<std::uint8_t>(rng.next_u64());
+    }
+    w.client(who).bcast_update(g, obj, std::move(payload));
+    w.run_ms(10);
+  }
+  w.settle();
+
+  std::ostringstream out;
+  append_trace(out, log);
+  const ReplicaStats& st = w.coordinator().stats();
+  out << "forwarded=" << st.forwarded << " sequenced=" << st.sequenced
+      << " fanout=" << st.fanout_deliveries << " now=" << w.rt.now() << "\n";
+  return out.str();
+}
+
+TEST(Determinism, SingleServerTraceIsByteIdentical) {
+  const std::string a = run_single_server(0xc0ffee);
+  const std::string b = run_single_server(0xc0ffee);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Determinism, ReplicatedTraceIsByteIdentical) {
+  const std::string a = run_replicated(0xdecade);
+  const std::string b = run_replicated(0xdecade);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Determinism, DifferentSeedsProduceDifferentTraces) {
+  // Sanity check that the trace actually depends on the workload (a trivially
+  // constant trace would make the identity assertions vacuous).
+  EXPECT_NE(run_single_server(1), run_single_server(2));
+}
+
+}  // namespace
+}  // namespace corona::testing

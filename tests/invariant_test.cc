@@ -1,0 +1,303 @@
+// The CORONA_INVARIANT layer: corrupt each stateful core through its test
+// access, assert the check_invariants() walk notices, and assert the macro
+// checkpoints route failures through the installed handler.  The walks are
+// compiled in every build mode; this binary additionally forces the
+// checkpoints on (CORONA_FORCE_INVARIANTS in tests/CMakeLists.txt) so the
+// handler path is exercised even in Release.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+
+#include "core/group.h"
+#include "core/locks.h"
+#include "core/shared_state.h"
+#include "replica/replication_manager.h"
+#include "sim/event_queue.h"
+#include "util/invariant.h"
+
+namespace corona {
+
+// The friend backdoors used to corrupt internals.
+struct LockTableTestAccess {
+  static std::map<ObjectId, LockTable::Entry>& locks(LockTable& t) {
+    return t.locks_;
+  }
+};
+struct SharedStateTestAccess {
+  static std::deque<UpdateRecord>& history(SharedState& s) {
+    return s.history_;
+  }
+  static std::uint64_t& history_bytes(SharedState& s) {
+    return s.history_bytes_;
+  }
+  static SeqNo& head_seq(SharedState& s) { return s.head_seq_; }
+  static SeqNo& base_seq(SharedState& s) { return s.base_seq_; }
+};
+struct GroupTestAccess {
+  static SeqNo& next_seq(Group& g) { return g.next_seq_; }
+};
+struct ReplicationManagerTestAccess {
+  static void force_both(ReplicationManager& r, GroupId g, NodeId server) {
+    r.copies_[g].supporting.insert(server);
+    r.copies_[g].backups.insert(server);
+  }
+};
+struct EventQueueTestAccess {
+  static TimePoint& now(EventQueue& q) { return q.now_; }
+  static std::size_t& live_count(EventQueue& q) { return q.live_count_; }
+  static std::vector<EventQueue::EventId>& cancelled(EventQueue& q) {
+    return q.cancelled_;
+  }
+};
+
+namespace {
+
+UpdateRecord make_rec(SeqNo seq, std::size_t bytes) {
+  UpdateRecord rec;
+  rec.seq = seq;
+  rec.object = ObjectId{1};
+  rec.kind = PayloadKind::kUpdate;
+  rec.data = Bytes(bytes, std::uint8_t{0xab});
+  rec.sender = NodeId{100};
+  rec.request_id = seq;
+  return rec;
+}
+
+// ---------------------------------------------------------------------------
+// LockTable
+// ---------------------------------------------------------------------------
+
+TEST(LockTableInvariants, CleanTablePasses) {
+  LockTable t;
+  EXPECT_EQ(t.acquire(ObjectId{7}, NodeId{1}), LockTable::AcquireOutcome::kGranted);
+  EXPECT_EQ(t.acquire(ObjectId{7}, NodeId{2}), LockTable::AcquireOutcome::kQueued);
+  EXPECT_TRUE(t.check_invariants().ok());
+}
+
+TEST(LockTableInvariants, HolderAlsoQueuedIsReported) {
+  LockTable t;
+  t.acquire(ObjectId{7}, NodeId{1});
+  LockTableTestAccess::locks(t).at(ObjectId{7}).queue.push_back(NodeId{1});
+  const InvariantReport rep = t.check_invariants();
+  ASSERT_FALSE(rep.ok());
+  EXPECT_NE(rep.to_string().find("also queued"), std::string::npos);
+}
+
+TEST(LockTableInvariants, DuplicateWaiterIsReported) {
+  LockTable t;
+  t.acquire(ObjectId{7}, NodeId{1});
+  t.acquire(ObjectId{7}, NodeId{2});
+  LockTableTestAccess::locks(t).at(ObjectId{7}).queue.push_back(NodeId{2});
+  const InvariantReport rep = t.check_invariants();
+  ASSERT_FALSE(rep.ok());
+  EXPECT_NE(rep.to_string().find("queued twice"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// SharedState
+// ---------------------------------------------------------------------------
+
+TEST(SharedStateInvariants, CleanStatePasses) {
+  SharedState s;
+  s.apply(make_rec(1, 16));
+  s.apply(make_rec(2, 16));
+  EXPECT_TRUE(s.check_invariants().ok());
+}
+
+TEST(SharedStateInvariants, ByteAccountingDriftIsReported) {
+  SharedState s;
+  s.apply(make_rec(1, 16));
+  SharedStateTestAccess::history_bytes(s) += 5;
+  const InvariantReport rep = s.check_invariants();
+  ASSERT_FALSE(rep.ok());
+  EXPECT_NE(rep.to_string().find("history_bytes"), std::string::npos);
+}
+
+TEST(SharedStateInvariants, NonAscendingHistoryIsReported) {
+  SharedState s;
+  s.apply(make_rec(1, 8));
+  s.apply(make_rec(2, 8));
+  SharedStateTestAccess::history(s)[1].seq = 1;  // duplicate of the first
+  EXPECT_FALSE(s.check_invariants().ok());
+}
+
+TEST(SharedStateInvariants, BasePastHeadIsReported) {
+  SharedState s;
+  s.apply(make_rec(1, 8));
+  SharedStateTestAccess::base_seq(s) = 9;
+  EXPECT_FALSE(s.check_invariants().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Group
+// ---------------------------------------------------------------------------
+
+TEST(GroupInvariants, CleanGroupPasses) {
+  Group g(GroupMeta{GroupId{1}, "g", true});
+  g.add_member(NodeId{100}, MemberRole::kPrincipal, false);
+  g.locks().acquire(ObjectId{1}, NodeId{100});
+  const SeqNo seq = g.allocate_seq();
+  g.state().apply(make_rec(seq, 8));
+  EXPECT_TRUE(g.check_invariants().ok());
+}
+
+TEST(GroupInvariants, NonMemberLockHolderIsReported) {
+  Group g(GroupMeta{GroupId{1}, "g", true});
+  g.add_member(NodeId{100}, MemberRole::kPrincipal, false);
+  g.locks().acquire(ObjectId{1}, NodeId{200});  // bypasses membership guard
+  const InvariantReport rep = g.check_invariants();
+  ASSERT_FALSE(rep.ok());
+  EXPECT_NE(rep.to_string().find("not a member"), std::string::npos);
+}
+
+TEST(GroupInvariants, SequencerBehindAppliedHeadIsReported) {
+  Group g(GroupMeta{GroupId{1}, "g", true});
+  g.state().apply(make_rec(g.allocate_seq(), 8));
+  GroupTestAccess::next_seq(g) = 1;  // would re-issue an applied seq
+  EXPECT_FALSE(g.check_invariants().ok());
+}
+
+// ---------------------------------------------------------------------------
+// ReplicationManager
+// ---------------------------------------------------------------------------
+
+TEST(ReplicationManagerInvariants, CleanPlacementPasses) {
+  ReplicationManager r;
+  r.add_supporting_server(GroupId{1}, NodeId{2});
+  r.add_backup(GroupId{1}, NodeId{3});
+  // Promoting the backup to supporting must drop the backup role.
+  r.add_supporting_server(GroupId{1}, NodeId{3});
+  EXPECT_TRUE(r.check_invariants().ok());
+  EXPECT_EQ(r.copy_count(GroupId{1}), 2u);
+}
+
+TEST(ReplicationManagerInvariants, DoubleRoleIsReported) {
+  ReplicationManager r;
+  ReplicationManagerTestAccess::force_both(r, GroupId{1}, NodeId{2});
+  const InvariantReport rep = r.check_invariants();
+  ASSERT_FALSE(rep.ok());
+  EXPECT_NE(rep.to_string().find("both supporting and backup"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// EventQueue
+// ---------------------------------------------------------------------------
+
+TEST(EventQueueInvariants, CleanQueuePasses) {
+  EventQueue q;
+  q.schedule_after(10, [] {});
+  const EventQueue::EventId id = q.schedule_after(20, [] {});
+  q.cancel(id);
+  EXPECT_TRUE(q.check_invariants().ok());
+  EXPECT_TRUE(q.run_next());
+  EXPECT_TRUE(q.check_invariants().ok());
+}
+
+TEST(EventQueueInvariants, EventBeforeNowIsReported) {
+  EventQueue q;
+  q.schedule_at(5, [] {});
+  EventQueueTestAccess::now(q) = 50;  // virtual time jumped past the event
+  const InvariantReport rep = q.check_invariants();
+  ASSERT_FALSE(rep.ok());
+  EXPECT_NE(rep.to_string().find("before now"), std::string::npos);
+}
+
+TEST(EventQueueInvariants, LiveCountDriftIsReported) {
+  EventQueue q;
+  q.schedule_after(10, [] {});
+  EventQueueTestAccess::live_count(q) = 7;
+  EXPECT_FALSE(q.check_invariants().ok());
+}
+
+TEST(EventQueueInvariants, StaleCancellationIsReported) {
+  EventQueue q;
+  q.schedule_after(10, [] {});
+  EventQueueTestAccess::cancelled(q).push_back(999);  // never queued
+  EXPECT_FALSE(q.check_invariants().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint macros + handler plumbing
+// ---------------------------------------------------------------------------
+
+std::atomic<int> g_failures{0};
+std::string g_last_message;  // single-threaded tests only
+
+void recording_handler(const char*, int, const char*, const char* message) {
+  ++g_failures;
+  g_last_message = message;
+}
+
+class HandlerGuard {
+ public:
+  HandlerGuard() : previous_(set_invariant_handler(&recording_handler)) {
+    g_failures = 0;
+    g_last_message.clear();
+  }
+  ~HandlerGuard() { set_invariant_handler(previous_); }
+
+ private:
+  InvariantHandler previous_;
+};
+
+TEST(InvariantMacros, CheckpointsAreOnInThisBinary) {
+  // tests/CMakeLists.txt defines CORONA_FORCE_INVARIANTS for this target, so
+  // the macro layer must be active regardless of build type.
+  EXPECT_EQ(CORONA_INVARIANTS_ENABLED, 1);
+}
+
+TEST(InvariantMacros, PassingCheckpointIsSilent) {
+  HandlerGuard guard;
+  CORONA_INVARIANT(1 + 1 == 2, "arithmetic holds");
+  LockTable t;
+  CORONA_CHECK_INVARIANTS(t);
+  EXPECT_EQ(g_failures, 0);
+}
+
+TEST(InvariantMacros, FailingConditionCallsHandler) {
+  HandlerGuard guard;
+  CORONA_INVARIANT(false, "forced failure");
+  EXPECT_EQ(g_failures, 1);
+  EXPECT_EQ(g_last_message, "forced failure");
+}
+
+TEST(InvariantMacros, CorruptedComponentTripsCheckpoint) {
+  HandlerGuard guard;
+  LockTable t;
+  t.acquire(ObjectId{7}, NodeId{1});
+  LockTableTestAccess::locks(t).at(ObjectId{7}).queue.push_back(NodeId{1});
+  CORONA_CHECK_INVARIANTS(t);
+  EXPECT_EQ(g_failures, 1);
+  EXPECT_NE(g_last_message.find("also queued"), std::string::npos);
+}
+
+TEST(InvariantMacros, MutatorCheckpointsFireOnCorruptedTable) {
+  HandlerGuard guard;
+  LockTable t;
+  t.acquire(ObjectId{7}, NodeId{1});
+  LockTableTestAccess::locks(t).at(ObjectId{7}).queue.push_back(NodeId{1});
+  // acquire()'s queued path ends in CORONA_CHECK_INVARIANTS(*this); with the
+  // library built with checkpoints on it must observe the corruption.  When
+  // the library was built in Release the walk still exists but the inline
+  // checkpoint is compiled out, so expect either 0 or 1 here — what must
+  // never happen is an abort (the recording handler is installed).
+  t.acquire(ObjectId{7}, NodeId{2});
+  EXPECT_LE(g_failures.load(), 1);
+}
+
+TEST(InvariantReportTest, MergeAndToString) {
+  InvariantReport a;
+  a.fail("first");
+  InvariantReport b;
+  b.fail("second");
+  a.merge(b);
+  EXPECT_FALSE(a.ok());
+  EXPECT_EQ(a.violations().size(), 2u);
+  EXPECT_EQ(a.to_string(), "first; second");
+  EXPECT_EQ(InvariantReport{}.to_string(), "");
+}
+
+}  // namespace
+}  // namespace corona

@@ -1,0 +1,381 @@
+#!/usr/bin/env python3
+"""corona-lint: dependency-free determinism & concurrency lint for src/.
+
+The simulator must be bit-reproducible: the same seed must yield the same
+event trace, the same stats, the same bytes.  Most determinism bugs enter
+through a handful of C++ constructs, so this lint bans them mechanically,
+with per-directory scoping (the thread runtime is *allowed* to use real
+clocks and threads — that is its job).
+
+Rules (see docs/ANALYSIS.md for the full contract):
+
+  wall-clock     src/** except runtime/thread_runtime.*
+                 No std::chrono::{system,steady,high_resolution}_clock,
+                 time(), gettimeofday, clock_gettime, localtime, gmtime.
+                 Sim-visible code must read time from its injected Runtime.
+
+  raw-random     src/** except runtime/thread_runtime.*
+                 No rand()/srand()/drand48, std::random_device, std::mt19937.
+                 All randomness flows through the seeded util/rng.h.
+
+  unordered-container
+                 src/core, src/replica, src/sim
+                 No std::unordered_map/set declarations: iteration order is
+                 nondeterministic and *someone* eventually iterates.  Use
+                 std::map/std::set, or waive lookup-only uses.
+
+  unordered-iteration
+                 src/core, src/replica, src/sim
+                 No range-for / .begin() iteration over an identifier that
+                 was declared anywhere in the scanned tree as an unordered
+                 container (catches members declared in headers elsewhere).
+
+  raw-thread     src/** except src/runtime
+                 No std::thread/std::jthread/std::mutex/std::shared_mutex/
+                 std::recursive_mutex/std::condition_variable/std::async.
+                 Concurrency lives in the runtime layer only.
+
+  float-accum    src/sim
+                 No float/double in sim cost models without an explicit
+                 waiver: accumulating floats makes results depend on
+                 evaluation order.  Compute in integral microseconds, or
+                 round immediately and waive.
+
+Waivers: append `// lint: <rule>-ok` to the offending line (or place it on
+the line directly above).  Several waivers may share one comment, e.g.
+`// lint: float-ok thread-ok`.  A file with a pervasive, justified
+exception may carry `// lint-file: <rule>-ok` once (near the top, with the
+justification alongside).  Waive narrowly and say why in a comment.
+
+Exit status: 0 clean, 1 violations found, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from typing import Callable, Iterable, NamedTuple
+
+CXX_EXTENSIONS = {".h", ".hh", ".hpp", ".cc", ".cpp", ".cxx"}
+
+# `lint:`/`lint-file:` may appear anywhere in a comment, so a waiver can
+# share a line with prose: `// 10 Mbps Ethernet; lint: float-ok`.
+WAIVER_RE = re.compile(r"(?<![\w-])lint:\s*([a-z0-9\- ]+)")
+FILE_WAIVER_RE = re.compile(r"(?<![\w-])lint-file:\s*([a-z0-9\- ]+)")
+
+
+class Violation(NamedTuple):
+    path: str
+    line: int
+    rule: str
+    message: str
+
+
+class Rule(NamedTuple):
+    name: str
+    waiver: str  # `<waiver>-ok` in a comment silences the rule
+    applies: Callable[[str], bool]  # takes the src-relative path
+    pattern: re.Pattern
+    message: str
+
+
+def src_relative(path: str) -> str:
+    """Path after the last 'src/' component; '' if there is none.
+
+    Both real sources (src/sim/x.cc) and test fixtures
+    (tools/lint/fixtures/src/sim/x.cc) resolve to the same rule scope.
+    """
+    parts = path.replace(os.sep, "/").split("/")
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "src":
+            return "/".join(parts[i + 1:])
+    return ""
+
+
+def in_dirs(*prefixes: str) -> Callable[[str], bool]:
+    return lambda rel: any(rel.startswith(p) for p in prefixes)
+
+
+def everywhere_except(*prefixes: str) -> Callable[[str], bool]:
+    return lambda rel: bool(rel) and not any(rel.startswith(p) for p in prefixes)
+
+
+RULES = [
+    Rule(
+        "wall-clock",
+        "clock",
+        everywhere_except("runtime/thread_runtime."),
+        re.compile(
+            r"std::chrono::(?:system|steady|high_resolution)_clock"
+            r"|\b(?:system|steady|high_resolution)_clock::"
+            r"|\btime\s*\(\s*(?:NULL|nullptr|0|&|\))"
+            r"|\bgettimeofday\b|\bclock_gettime\b|\blocaltime\b|\bgmtime\b"
+        ),
+        "wall-clock access outside the thread runtime; sim-visible code must "
+        "use the injected Runtime clock (runtime/runtime.h)",
+    ),
+    Rule(
+        "raw-random",
+        "random",
+        everywhere_except("runtime/thread_runtime."),
+        re.compile(
+            r"\b(?:s?rand)\s*\(|\bd?rand48\b"
+            r"|std::random_device|\brandom_device\b|std::mt19937"
+        ),
+        "unseeded/global randomness; all randomness must flow through the "
+        "explicitly seeded corona::Rng (util/rng.h)",
+    ),
+    Rule(
+        "unordered-container",
+        "unordered",
+        in_dirs("core/", "replica/", "sim/"),
+        re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b"),
+        "unordered container in determinism-critical code; iteration order "
+        "is nondeterministic — use std::map/std::set (or waive a proven "
+        "lookup-only use)",
+    ),
+    Rule(
+        "raw-thread",
+        "thread",
+        everywhere_except("runtime/"),
+        re.compile(
+            r"std::(?:jthread|thread|mutex|shared_mutex|recursive_mutex|"
+            r"timed_mutex|condition_variable|async)\b"
+        ),
+        "raw threading primitive outside src/runtime/; protocol code is "
+        "single-threaded by construction — concurrency belongs to the "
+        "runtime layer",
+    ),
+    Rule(
+        "float-accum",
+        "float",
+        in_dirs("sim/"),
+        re.compile(r"\b(?:float|double)\b"),
+        "float/double in sim cost-model code; floating accumulation is "
+        "evaluation-order-sensitive — compute in integral microseconds, or "
+        "round immediately and waive with a justification",
+    ),
+]
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<"
+)
+RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;)]*:\s*(?:this->)?(\w+)\s*\)")
+BEGIN_CALL_RE = re.compile(r"\b(\w+)\s*\.\s*c?r?begin\s*\(")
+
+
+def strip_strings(code: str) -> str:
+    """Blanks out string and char literals (keeps length unimportant)."""
+    out = []
+    i, n = 0, len(code)
+    while i < n:
+        c = code[i]
+        if c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n:
+                if code[i] == "\\":
+                    i += 2
+                    continue
+                if code[i] == quote:
+                    break
+                i += 1
+            out.append(quote)
+            i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def logical_lines(text: str) -> Iterable[tuple[int, str, str]]:
+    """Yields (lineno, raw_line, code_only_line) with comments stripped.
+
+    Tracks /* */ across lines.  The raw line is kept for waiver detection
+    (waivers live inside comments).
+    """
+    in_block = False
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = strip_strings(raw)
+        code = []
+        i, n = 0, len(line)
+        while i < n:
+            if in_block:
+                end = line.find("*/", i)
+                if end < 0:
+                    i = n
+                else:
+                    in_block = False
+                    i = end + 2
+                continue
+            if line.startswith("//", i):
+                break
+            if line.startswith("/*", i):
+                in_block = True
+                i += 2
+                continue
+            code.append(line[i])
+            i += 1
+        yield lineno, raw, "".join(code)
+
+
+def _waiver_tokens(m: re.Match | None) -> set[str]:
+    if not m:
+        return set()
+    toks = m.group(1).split()
+    return {t[:-3] for t in toks if t.endswith("-ok")}
+
+
+def waivers_on(raw_line: str) -> set[str]:
+    return _waiver_tokens(WAIVER_RE.search(raw_line))
+
+
+def file_waivers(text: str) -> set[str]:
+    out: set[str] = set()
+    for m in FILE_WAIVER_RE.finditer(text):
+        out |= _waiver_tokens(m)
+    return out
+
+
+def declared_identifier(code: str, match_end: int) -> str | None:
+    """After `unordered_map<`, skip the balanced template args and return the
+    declared identifier, if this line is a declaration."""
+    depth = 1
+    i = match_end
+    n = len(code)
+    while i < n and depth > 0:
+        if code[i] == "<":
+            depth += 1
+        elif code[i] == ">":
+            depth -= 1
+        i += 1
+    if depth != 0:
+        return None
+    m = re.match(r"\s*&?\s*([A-Za-z_]\w*)\s*[;{=,)]", code[i:])
+    return m.group(1) if m else None
+
+
+def file_stem(path: str) -> str:
+    """Directory + basename without extension: header/source pairs share it,
+    so a member declared in foo.h is tracked when foo.cc iterates it —
+    without leaking identically-named members from unrelated files."""
+    root, _ = os.path.splitext(path)
+    return root
+
+
+def collect_unordered_names(files: list[str]) -> dict[str, set[str]]:
+    """Maps each file stem to the unordered-container identifiers declared
+    in that header/source pair."""
+    names: dict[str, set[str]] = {}
+    for path in files:
+        try:
+            with open(path, encoding="utf-8", errors="replace") as f:
+                text = f.read()
+        except OSError:
+            continue
+        for _, _, code in logical_lines(text):
+            for m in UNORDERED_DECL_RE.finditer(code):
+                ident = declared_identifier(code, m.end())
+                if ident:
+                    names.setdefault(file_stem(path), set()).add(ident)
+    return names
+
+
+def lint_file(path: str,
+              unordered_names: dict[str, set[str]]) -> list[Violation]:
+    rel = src_relative(path)
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    except OSError as e:
+        print(f"corona-lint: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+    out: list[Violation] = []
+    whole_file_waivers = file_waivers(text)
+    pair_unordered = unordered_names.get(file_stem(path), set())
+    prev_waivers: set[str] = set()
+    iteration_scoped = in_dirs("core/", "replica/", "sim/")(rel)
+    for lineno, raw, code in logical_lines(text):
+        active_waivers = waivers_on(raw) | prev_waivers | whole_file_waivers
+        # A waiver-only line waives the NEXT line; a code line's waiver
+        # applies to itself only.
+        prev_waivers = waivers_on(raw) if not code.strip() else set()
+
+        if code.strip().startswith("#include"):
+            continue
+
+        for rule in RULES:
+            if not rule.applies(rel):
+                continue
+            if rule.waiver in active_waivers:
+                continue
+            if rule.pattern.search(code):
+                out.append(Violation(path, lineno, rule.name, rule.message))
+
+        if iteration_scoped and "unordered" not in active_waivers:
+            idents = {m.group(1) for m in RANGE_FOR_RE.finditer(code)}
+            idents |= {m.group(1) for m in BEGIN_CALL_RE.finditer(code)}
+            for ident in sorted(idents & pair_unordered):
+                out.append(
+                    Violation(
+                        path,
+                        lineno,
+                        "unordered-iteration",
+                        f"iterating over '{ident}', declared as an unordered "
+                        "container; iteration order is nondeterministic — "
+                        "use std::map/std::set or copy-and-sort first",
+                    )
+                )
+    return out
+
+
+def gather_files(roots: list[str]) -> list[str]:
+    files: list[str] = []
+    for root in roots:
+        if os.path.isfile(root):
+            files.append(root)
+            continue
+        if not os.path.isdir(root):
+            print(f"corona-lint: no such file or directory: {root}",
+                  file=sys.stderr)
+            sys.exit(2)
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if os.path.splitext(name)[1] in CXX_EXTENSIONS:
+                    files.append(os.path.join(dirpath, name))
+    return files
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="corona-lint",
+        description="determinism & concurrency lint for the corona tree",
+    )
+    parser.add_argument("paths", nargs="+", help="files or directories")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the summary line")
+    args = parser.parse_args(argv)
+
+    files = gather_files(args.paths)
+    unordered_names = collect_unordered_names(files)
+    violations: list[Violation] = []
+    for path in files:
+        violations.extend(lint_file(path, unordered_names))
+
+    for v in violations:
+        print(f"{v.path}:{v.line}: [{v.rule}] {v.message}")
+    if not args.quiet:
+        print(
+            f"corona-lint: {len(files)} files, {len(violations)} violation(s)",
+            file=sys.stderr,
+        )
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

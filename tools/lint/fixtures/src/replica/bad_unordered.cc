@@ -1,0 +1,15 @@
+// Fixture: iteration over the unordered member declared in the paired
+// header — the cross-file case the two-pass collection exists for.
+#include "bad_unordered.h"
+
+namespace fixture {
+
+int Registry::total() const {
+  int n = 0;
+  for (const auto& [k, v] : entries_) {                     // line 9: flagged
+    n += k + static_cast<int>(v.size());
+  }
+  return n;
+}
+
+}  // namespace fixture

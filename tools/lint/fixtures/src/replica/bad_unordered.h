@@ -1,0 +1,18 @@
+// Fixture: unordered container declared in a replica header; the paired
+// source iterates it.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+class Registry {
+ public:
+  int total() const;
+
+ private:
+  std::unordered_map<int, std::string> entries_;            // line 15: flagged
+};
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: the one place real clocks and threads are the job.  Everything
+// here must lint clean without waivers.
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+namespace fixture {
+
+std::mutex g_mu;  // allowed: src/runtime/ owns concurrency
+
+long run() {
+  std::thread t([] {});  // allowed
+  t.join();
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: raw threading primitives outside src/runtime/.
+#include <mutex>
+#include <thread>
+
+namespace fixture {
+
+std::mutex g_mu;                                            // line 7: flagged
+
+void spin() {
+  std::thread t([] {});                                     // line 10: flagged
+  t.join();
+}
+
+}  // namespace fixture

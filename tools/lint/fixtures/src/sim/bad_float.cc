@@ -1,0 +1,13 @@
+// Fixture: float accumulation in a sim cost model, one waived line.
+namespace fixture {
+
+long total_cost(int n) {
+  double acc = 0.0;                                         // line 5: flagged
+  for (int i = 0; i < n; ++i) {
+    acc += 0.5 * i;                                         // no token: clean
+  }
+  const double scale = 1.25;  // calibration knob; lint: float-ok
+  return static_cast<long>(acc * scale);
+}
+
+}  // namespace fixture

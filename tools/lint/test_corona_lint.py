@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Self-test for corona_lint: run the lint over the known-bad fixture tree
+and assert exactly the expected diagnostics come out (and nothing else).
+
+Run directly (python3 tools/lint/test_corona_lint.py) or via ctest
+(corona_lint_selftest).  Dependency-free: unittest only.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import sys
+import unittest
+from contextlib import redirect_stderr, redirect_stdout
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import corona_lint  # noqa: E402
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+FIXTURES = os.path.join(HERE, "fixtures")
+
+
+def lint(*roots: str) -> list[corona_lint.Violation]:
+    files = corona_lint.gather_files(list(roots))
+    names = corona_lint.collect_unordered_names(files)
+    out: list[corona_lint.Violation] = []
+    for path in files:
+        out.extend(corona_lint.lint_file(path, names))
+    return out
+
+
+def keyed(violations: list[corona_lint.Violation]) -> set[tuple[str, int, str]]:
+    return {
+        (os.path.relpath(v.path, FIXTURES).replace(os.sep, "/"), v.line, v.rule)
+        for v in violations
+    }
+
+
+class FixtureTree(unittest.TestCase):
+    """The fixture tree produces exactly the expected (file, line, rule) set."""
+
+    def test_expected_diagnostics(self):
+        expected = {
+            ("src/core/bad_clock.cc", 9, "wall-clock"),
+            ("src/core/bad_clock.cc", 11, "wall-clock"),
+            ("src/core/bad_random.cc", 8, "raw-random"),
+            ("src/core/bad_random.cc", 10, "raw-random"),
+            ("src/replica/bad_unordered.h", 15, "unordered-container"),
+            ("src/replica/bad_unordered.cc", 9, "unordered-iteration"),
+            ("src/sim/bad_float.cc", 5, "float-accum"),
+            ("src/serial/bad_thread.cc", 7, "raw-thread"),
+            ("src/serial/bad_thread.cc", 10, "raw-thread"),
+        }
+        self.assertEqual(keyed(lint(FIXTURES)), expected)
+
+    def test_thread_runtime_is_exempt(self):
+        path = os.path.join(FIXTURES, "src", "runtime", "thread_runtime.cc")
+        self.assertEqual(lint(path), [])
+
+    def test_file_waiver_covers_whole_file(self):
+        path = os.path.join(FIXTURES, "src", "core", "clean_waived.cc")
+        self.assertEqual(lint(path), [])
+
+    def test_main_exit_codes_and_output(self):
+        stdout, stderr = io.StringIO(), io.StringIO()
+        with redirect_stdout(stdout), redirect_stderr(stderr):
+            rc = corona_lint.main([FIXTURES])
+        self.assertEqual(rc, 1)
+        first = stdout.getvalue().splitlines()[0]
+        # file:line: [rule] message — the format the acceptance criteria pin.
+        self.assertRegex(first, r"^.+:\d+: \[[a-z-]+\] .+$")
+        self.assertIn("violation(s)", stderr.getvalue())
+
+    def test_main_clean_tree_exits_zero(self):
+        path = os.path.join(FIXTURES, "src", "core", "clean_waived.cc")
+        with redirect_stdout(io.StringIO()), redirect_stderr(io.StringIO()):
+            rc = corona_lint.main([path])
+        self.assertEqual(rc, 0)
+
+
+class Mechanics(unittest.TestCase):
+    """Unit coverage of the trickier helpers."""
+
+    def test_src_relative_handles_fixture_nesting(self):
+        self.assertEqual(
+            corona_lint.src_relative("tools/lint/fixtures/src/sim/a.cc"),
+            "sim/a.cc",
+        )
+        self.assertEqual(corona_lint.src_relative("src/core/b.h"), "core/b.h")
+        self.assertEqual(corona_lint.src_relative("README.md"), "")
+
+    def test_comments_and_strings_are_not_code(self):
+        text = (
+            '// std::thread in a comment\n'
+            'const char* s = "std::mutex in a string";\n'
+            "/* std::chrono::system_clock spanning\n"
+            "   a block comment */\n"
+        )
+        lines = list(corona_lint.logical_lines(text))
+        self.assertNotIn("thread", lines[0][2])
+        self.assertNotIn("mutex", lines[1][2])
+        self.assertNotIn("clock", lines[2][2])
+
+    def test_waiver_parsing(self):
+        self.assertEqual(
+            corona_lint.waivers_on("// knobs; lint: float-ok thread-ok"),
+            {"float", "thread"},
+        )
+        self.assertEqual(corona_lint.waivers_on("// lint-file: clock-ok"), set())
+        self.assertEqual(corona_lint.file_waivers("// lint-file: clock-ok"),
+                         {"clock"})
+
+    def test_declared_identifier_skips_nested_templates(self):
+        code = "std::unordered_map<int, std::pair<int, int>> table_;"
+        m = corona_lint.UNORDERED_DECL_RE.search(code)
+        self.assertIsNotNone(m)
+        self.assertEqual(corona_lint.declared_identifier(code, m.end()),
+                         "table_")
+
+
+if __name__ == "__main__":
+    unittest.main()

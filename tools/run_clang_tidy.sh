@@ -1,0 +1,57 @@
+#!/usr/bin/env sh
+# Runs clang-tidy (config: .clang-tidy) over every corona source file, using
+# the compile_commands.json of an existing build tree.
+#
+#   usage: tools/run_clang_tidy.sh [build-dir]
+#
+# With no argument the script looks for a build tree that already exported
+# compile_commands.json (build/release, build/debug, then flat build/) and,
+# finding none, configures build/tidy itself.  Exits 0 with a notice when no
+# clang-tidy binary is installed, so the script is safe to call from
+# environments that lack LLVM; CI installs clang-tidy and fails on findings.
+set -eu
+
+repo="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
+
+tidy="${CLANG_TIDY:-}"
+if [ -z "$tidy" ]; then
+  for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+                   clang-tidy-15 clang-tidy-14; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      tidy="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$tidy" ]; then
+  echo "run_clang_tidy: no clang-tidy binary found; skipping (install" \
+       "clang-tidy or set CLANG_TIDY to enforce)." >&2
+  exit 0
+fi
+
+build="${1:-}"
+if [ -z "$build" ]; then
+  for candidate in "$repo/build/release" "$repo/build/debug" "$repo/build"; do
+    if [ -f "$candidate/compile_commands.json" ]; then
+      build="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$build" ]; then
+  build="$repo/build/tidy"
+  echo "run_clang_tidy: no compile_commands.json found; configuring $build"
+  cmake -S "$repo" -B "$build" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+if [ ! -f "$build/compile_commands.json" ]; then
+  echo "run_clang_tidy: $build has no compile_commands.json" >&2
+  exit 2
+fi
+
+# Sources only — headers are pulled in through HeaderFilterRegex.
+files=$(find "$repo/src" -name '*.cc' | LC_ALL=C sort)
+
+echo "run_clang_tidy: $tidy over $(echo "$files" | wc -l) files," \
+     "database $build"
+# shellcheck disable=SC2086  # word-splitting the file list is intended
+exec "$tidy" -p "$build" --quiet $files
