@@ -13,9 +13,10 @@
 using namespace corona;
 using namespace corona::bench;
 
-int main() {
+int main(int argc, char** argv) {
   print_banner("Figure 3 — round-trip delay vs number of clients",
                "Figure 3 + §5.2.1 message-size follow-up");
+  JsonReport report("fig3_roundtrip");
 
   std::cout << "\nSetup: single server (UltraSparc-1 profile), clients over 6\n"
                "machines, 10 Mbps shared Ethernet, 1000-byte multicasts at\n"
@@ -46,6 +47,10 @@ int main() {
                    TextTable::fmt(lm),
                    TextTable::fmt(without_state.round_trip_ms.stddev_pct_of_mean()),
                    TextTable::fmt(overhead)});
+    const std::string prefix = "clients_" + std::to_string(n) + ".";
+    report.add(prefix + "stateful_ms", sm);
+    report.add(prefix + "stateless_ms", lm);
+    report.add(prefix + "overhead_pct", overhead);
   }
   std::cout << table.to_string();
 
@@ -72,9 +77,18 @@ int main() {
     const double large = run_single_server_roundtrip(cfg).round_trip_ms.mean();
     big.add_row({std::to_string(n), TextTable::fmt(small),
                  TextTable::fmt(large), TextTable::fmt(large / small, 2)});
+    const std::string prefix = "clients_" + std::to_string(n) + ".";
+    report.add(prefix + "large_1000b_ms", small);
+    report.add(prefix + "large_10000b_ms", large);
   }
   std::cout << big.to_string()
             << "\nShape: delay stays linear in clients at 10000 B with a "
                "higher slope (paper §5.2.1).\n";
+
+  if (const std::string path = json_output_path(argc, argv); !path.empty()) {
+    report.add("max_overhead_pct", max_overhead);
+    report.add("slope_ms_per_client", slope);
+    if (!report.write(path)) return 1;
+  }
   return 0;
 }

@@ -1,5 +1,8 @@
 #include "bench/scenario.h"
 
+#include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <map>
 
@@ -346,6 +349,88 @@ void print_banner(const std::string& title, const std::string& paper_ref) {
             << "Reproduces: " << paper_ref << "\n"
             << "(Stateful Group Communication Services, Litiu & Prakash, ICDCS'99)\n"
             << "==================================================================\n";
+}
+
+// ---------------------------------------------------------------------------
+// JsonReport
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string render_number(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no NaN/Inf
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+JsonReport::JsonReport(std::string bench_name) {
+  add_text("bench", bench_name);
+}
+
+void JsonReport::add(const std::string& key, double value) {
+  entries_.emplace_back(key, render_number(value));
+}
+
+void JsonReport::add_count(const std::string& key, std::uint64_t value) {
+  entries_.emplace_back(key, std::to_string(value));
+}
+
+void JsonReport::add_text(const std::string& key, const std::string& value) {
+  entries_.emplace_back(key, "\"" + json_escape(value) + "\"");
+}
+
+std::string JsonReport::to_string() const {
+  std::string out = "{\n";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    out += "  \"" + json_escape(entries_[i].first) + "\": " +
+           entries_[i].second;
+    if (i + 1 < entries_.size()) out += ",";
+    out += "\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+bool JsonReport::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "JsonReport: cannot open " << path << " for writing\n";
+    return false;
+  }
+  out << to_string();
+  return static_cast<bool>(out);
+}
+
+std::string json_output_path(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  }
+  return {};
 }
 
 }  // namespace corona::bench

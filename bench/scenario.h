@@ -110,4 +110,35 @@ JoinCostResult run_join_cost(const JoinCostConfig& cfg);
 // Standard header printed by every bench binary.
 void print_banner(const std::string& title, const std::string& paper_ref);
 
+// ---------------------------------------------------------------------------
+// Machine-readable results (--json <path>).
+//
+// Benches keep their human-readable tables on stdout; when run with
+// `--json <path>` they additionally dump flat key -> value metrics so
+// harnesses (tools/bench/run_benches.py, CI baselines) can diff runs
+// without scraping tables.
+// ---------------------------------------------------------------------------
+
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name);
+
+  void add(const std::string& key, double value);
+  void add_count(const std::string& key, std::uint64_t value);
+  void add_text(const std::string& key, const std::string& value);
+
+  // Renders the whole report as a JSON object (insertion order preserved).
+  std::string to_string() const;
+  // Writes to_string() to `path`; returns false (and prints to stderr) on
+  // I/O failure.
+  bool write(const std::string& path) const;
+
+ private:
+  // key -> already-rendered JSON value literal
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+// Extracts `--json <path>` from a bench command line; empty when absent.
+std::string json_output_path(int argc, char** argv);
+
 }  // namespace corona::bench

@@ -9,15 +9,17 @@
 // (c) with enough clients the service sustains ~600 KB/s (§5.2.2) with the
 // wire, not the server code, as the bottleneck.
 #include <iostream>
+#include <iterator>
 
 #include "bench/scenario.h"
 
 using namespace corona;
 using namespace corona::bench;
 
-int main() {
+int main(int argc, char** argv) {
   print_banner("Table 1 — server throughput (KB/s), 6 blasting clients",
                "Table 1 + §5.2.2");
+  JsonReport report("table1_throughput");
 
   struct Row {
     const char* name;
@@ -27,6 +29,7 @@ int main() {
       {"UltraSparc 1 (Solaris)", HostProfile::ultrasparc()},
       {"quad Pentium II 200 (NT)", HostProfile::pentium_ii_quad()},
   };
+  const char* row_keys[] = {"ultrasparc", "pentium_ii"};
 
   // "Throughput" is the aggregate byte rate the server pushes to receivers
   // (the paper's bottleneck was "the network capacity and the inability of
@@ -34,7 +37,8 @@ int main() {
   TextTable table({"server machine", "1000 B KB/s", "10000 B KB/s",
                    "1000 B msg/s seq'd"});
   double us_1000 = 0, nt_1000 = 0;
-  for (const Row& row : rows) {
+  for (std::size_t i = 0; i < std::size(rows); ++i) {
+    const Row& row = rows[i];
     ThroughputConfig cfg;
     cfg.server_profile = row.profile;
     cfg.message_bytes = 1000;
@@ -50,6 +54,10 @@ int main() {
                    TextTable::fmt(small.delivered_kbytes_per_sec),
                    TextTable::fmt(large.delivered_kbytes_per_sec),
                    TextTable::fmt(small.messages_per_sec)});
+    const std::string prefix = std::string(row_keys[i]) + ".";
+    report.add(prefix + "kbytes_per_sec_1000b", small.delivered_kbytes_per_sec);
+    report.add(prefix + "kbytes_per_sec_10000b", large.delivered_kbytes_per_sec);
+    report.add(prefix + "messages_per_sec_1000b", small.messages_per_sec);
   }
   std::cout << table.to_string();
   std::cout << "\nShape: NT/UltraSparc ratio at 1000 B = "
@@ -70,11 +78,18 @@ int main() {
     const auto r = run_single_server_throughput(cfg);
     scale.add_row({std::to_string(n),
                    TextTable::fmt(r.delivered_kbytes_per_sec)});
+    report.add("scaling.clients_" + std::to_string(n) + ".kbytes_per_sec",
+               r.delivered_kbytes_per_sec);
   }
   std::cout << scale.to_string()
             << "\nShape: throughput rises monotonically with client count\n"
                "(paper: 'every time a new client was added, the throughput\n"
                "increased') and plateaus at the wire, the paper's ~600 KB/s\n"
                "regime scaled by our ideal-Ethernet efficiency.\n";
+
+  if (const std::string path = json_output_path(argc, argv); !path.empty()) {
+    report.add("nt_over_ultrasparc_1000b", nt_1000 / us_1000);
+    if (!report.write(path)) return 1;
+  }
   return 0;
 }

@@ -9,9 +9,10 @@
 using namespace corona;
 using namespace corona::bench;
 
-int main() {
+int main(int argc, char** argv) {
   print_banner("Table 2 — round-trip delay: single vs replicated service",
                "Table 2 + §5.2.3");
+  JsonReport report("table2_replicated");
 
   std::cout << "\nSetup: coordinator + 6 servers (UltraSparc profiles),\n"
                "clients over 12 machines a few routers away (switched\n"
@@ -36,11 +37,20 @@ int main() {
     last_speedup = sm / mm;
     table.add_row({std::to_string(n), TextTable::fmt(sm),
                    TextTable::fmt(mm), TextTable::fmt(sm / mm, 2)});
+    const std::string prefix = "clients_" + std::to_string(n) + ".";
+    report.add(prefix + "single_ms", sm);
+    report.add(prefix + "replicated_ms", mm);
+    report.add(prefix + "speedup", sm / mm);
   }
   std::cout << table.to_string();
   std::cout << "\nShape: the replicated service is faster at every size and "
                "its advantage grows with client count\n(paper: 'better "
                "scalability and responsiveness'); at 300 clients speedup = "
             << TextTable::fmt(last_speedup, 2) << "x.\n";
+
+  if (const std::string path = json_output_path(argc, argv); !path.empty()) {
+    report.add("speedup_at_300", last_speedup);
+    if (!report.write(path)) return 1;
+  }
   return 0;
 }

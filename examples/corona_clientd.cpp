@@ -1,0 +1,201 @@
+// corona-clientd — an interactive Corona client over real TCP.
+//
+// Hosts one CoronaClient on a SocketRuntime, dials the server from an
+// address book (a --server flag or a book file), and drives the full
+// service suite from a line-oriented stdin console — usable by a human in a
+// terminal or scripted through a pipe.  See the README quickstart.
+//
+//   corona-clientd --server 127.0.0.1:7700 --node 100 [--server-node 1]
+//   corona-clientd --book mesh.txt --node 100 [--server-node 1]
+//
+// Commands (one per line):
+//   create <group>            create a persistent group
+//   join <group> [last <n>]   join, full transfer or the last n updates
+//   leave <group>
+//   send <group> <obj> <text> sequenced multicast to the group
+//   lock <group> <obj>  /  unlock <group> <obj>
+//   members <group>
+//   quit
+//
+// lint-file: clock-ok thread-ok — deployable daemon: the blocking stdin
+// console lives here, outside the protocol layers.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/client.h"
+#include "net/socket_runtime.h"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s (--server host:port | --book FILE) --node ID\n"
+      "          [--server-node ID] [--heartbeat-ms N]\n"
+      "  --server host:port   the server to dial\n"
+      "  --book FILE          address book file (id=host:port per line)\n"
+      "  --node ID            this client's node id (must be unique)\n"
+      "  --server-node ID     the server's node id (default 1)\n"
+      "  --heartbeat-ms N     protocol keepalive for server liveness sweeps\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace corona;
+  using namespace corona::net;
+
+  std::string server_at;
+  std::string book_path;
+  std::uint64_t node_id = 0;
+  std::uint64_t server_node = 1;
+  long heartbeat_ms = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--server") {
+      server_at = next();
+    } else if (arg == "--book") {
+      book_path = next();
+    } else if (arg == "--node") {
+      node_id = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--server-node") {
+      server_node = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--heartbeat-ms") {
+      heartbeat_ms = std::strtol(next(), nullptr, 10);
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (node_id == 0 || (server_at.empty() == book_path.empty())) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  AddressBook book;
+  if (!server_at.empty()) {
+    auto ep = parse_endpoint(server_at);
+    if (!ep.is_ok()) {
+      std::fprintf(stderr, "corona-clientd: %s\n",
+                   ep.status().to_string().c_str());
+      return 2;
+    }
+    book.emplace(NodeId{server_node}, ep.value());
+  } else {
+    auto loaded = load_address_book_file(book_path);
+    if (!loaded.is_ok()) {
+      std::fprintf(stderr, "corona-clientd: %s\n",
+                   loaded.status().to_string().c_str());
+      return 2;
+    }
+    book = std::move(loaded.value());
+  }
+
+  SocketRuntime rt;
+  rt.set_address_book(book);
+
+  CoronaClient::Callbacks cb;
+  cb.on_deliver = [](GroupId g, const UpdateRecord& rec) {
+    std::string text(rec.data.begin(), rec.data.end());
+    std::printf("[deliver] group %llu seq %llu obj %llu from node %llu: %s\n",
+                static_cast<unsigned long long>(g.value),
+                static_cast<unsigned long long>(rec.seq),
+                static_cast<unsigned long long>(rec.object.value),
+                static_cast<unsigned long long>(rec.sender.value),
+                text.c_str());
+  };
+  cb.on_joined = [](GroupId g, Status s) {
+    std::printf("[joined] group %llu: %s\n",
+                static_cast<unsigned long long>(g.value),
+                s.to_string().c_str());
+  };
+  cb.on_lock_granted = [](GroupId g, ObjectId o) {
+    std::printf("[lock] group %llu obj %llu granted\n",
+                static_cast<unsigned long long>(g.value),
+                static_cast<unsigned long long>(o.value));
+  };
+  cb.on_membership_change = [](GroupId g, NodeId who, MemberRole, bool in) {
+    std::printf("[membership] group %llu node %llu %s\n",
+                static_cast<unsigned long long>(g.value),
+                static_cast<unsigned long long>(who.value),
+                in ? "joined" : "left");
+  };
+  cb.on_membership_info = [](GroupId g,
+                             const std::vector<MemberInfo>& members) {
+    std::printf("[members] group %llu:",
+                static_cast<unsigned long long>(g.value));
+    for (const MemberInfo& m : members) {
+      std::printf(" %llu", static_cast<unsigned long long>(m.node.value));
+    }
+    std::printf("\n");
+  };
+  cb.on_reply = [](RequestId rid, Status s) {
+    if (!s.is_ok()) {
+      std::printf("[error] request %llu: %s\n",
+                  static_cast<unsigned long long>(rid),
+                  s.to_string().c_str());
+    }
+  };
+
+  CoronaClient::Config client_cfg;
+  if (heartbeat_ms > 0) {
+    client_cfg.heartbeat_interval = heartbeat_ms * kMillisecond;
+  }
+  CoronaClient client(NodeId{server_node}, cb, client_cfg);
+  rt.add_node(NodeId{node_id}, &client);
+  rt.start();
+  std::printf("corona-clientd: node %llu dialing %s\n",
+              static_cast<unsigned long long>(node_id),
+              book.at(NodeId{server_node}).to_string().c_str());
+  std::fflush(stdout);
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd) || cmd.empty() || cmd[0] == '#') continue;
+    std::uint64_t g = 0, obj = 0;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "create" && in >> g) {
+      client.create_group(GroupId{g}, "group-" + std::to_string(g), true);
+    } else if (cmd == "join" && in >> g) {
+      std::string mode;
+      std::uint32_t n = 0;
+      if (in >> mode && mode == "last" && in >> n) {
+        client.join(GroupId{g}, TransferPolicySpec::last_n_updates(n));
+      } else {
+        client.join(GroupId{g});
+      }
+    } else if (cmd == "leave" && in >> g) {
+      client.leave(GroupId{g});
+    } else if (cmd == "send" && in >> g >> obj) {
+      std::string text;
+      std::getline(in, text);
+      if (!text.empty() && text.front() == ' ') text.erase(0, 1);
+      client.bcast_update(GroupId{g}, ObjectId{obj},
+                          Bytes(text.begin(), text.end()));
+    } else if (cmd == "lock" && in >> g >> obj) {
+      client.lock(GroupId{g}, ObjectId{obj});
+    } else if (cmd == "unlock" && in >> g >> obj) {
+      client.unlock(GroupId{g}, ObjectId{obj});
+    } else if (cmd == "members" && in >> g) {
+      client.get_membership(GroupId{g});
+    } else {
+      std::printf("commands: create/join/leave/send/lock/unlock/members/quit\n");
+    }
+  }
+  rt.stop();
+  return 0;
+}

@@ -1,0 +1,133 @@
+// corona-serverd — a deployable stateful Corona server over real TCP.
+//
+// Hosts one CoronaServer (or the stateless baseline) on a SocketRuntime and
+// serves any client that connects.  Pairs with corona-clientd; see the
+// README quickstart for a two-terminal localhost session.
+//
+//   corona-serverd --listen 127.0.0.1:7700 [--node 1] [--stateless]
+//                  [--client-timeout-ms N] [--keepalive-ms N]
+//
+// lint-file: clock-ok thread-ok — deployable daemon: wall-clock signal
+// handling and the blocking main thread live here, outside the protocol
+// layers.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "core/server.h"
+#include "core/stateless_server.h"
+#include "net/socket_runtime.h"
+#include "storage/group_store.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --listen host:port [--node ID] [--stateless]\n"
+      "          [--client-timeout-ms N] [--keepalive-ms N]\n"
+      "  --listen host:port      address to accept clients on (required)\n"
+      "  --node ID               this server's node id (default 1)\n"
+      "  --stateless             run the sequencer-only baseline server\n"
+      "  --client-timeout-ms N   treat members silent for N ms as crashed\n"
+      "  --keepalive-ms N        transport pings on idle connections\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace corona;
+  using namespace corona::net;
+
+  std::string listen_at;
+  std::uint64_t node_id = 1;
+  bool stateless = false;
+  long client_timeout_ms = 0;
+  long keepalive_ms = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--listen") {
+      listen_at = next();
+    } else if (arg == "--node") {
+      node_id = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--stateless") {
+      stateless = true;
+    } else if (arg == "--client-timeout-ms") {
+      client_timeout_ms = std::strtol(next(), nullptr, 10);
+    } else if (arg == "--keepalive-ms") {
+      keepalive_ms = std::strtol(next(), nullptr, 10);
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (listen_at.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+  auto ep = parse_endpoint(listen_at);
+  if (!ep.is_ok()) {
+    std::fprintf(stderr, "corona-serverd: %s\n",
+                 ep.status().to_string().c_str());
+    return 2;
+  }
+
+  SocketRuntimeConfig cfg;
+  if (keepalive_ms > 0) cfg.keepalive_interval = keepalive_ms * kMillisecond;
+  SocketRuntime rt(cfg);
+
+  GroupStore store;
+  ServerConfig server_cfg;
+  if (client_timeout_ms > 0) {
+    server_cfg.client_timeout = client_timeout_ms * kMillisecond;
+  }
+  CoronaServer stateful_server(server_cfg, &store);
+  StatelessServer stateless_server;
+  if (stateless) {
+    rt.add_node(NodeId{node_id}, &stateless_server);
+  } else {
+    rt.add_node(NodeId{node_id}, &stateful_server);
+  }
+
+  auto port = rt.listen(ep.value().host, ep.value().port);
+  if (!port.is_ok()) {
+    std::fprintf(stderr, "corona-serverd: %s\n",
+                 port.status().to_string().c_str());
+    return 1;
+  }
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  rt.start();
+  std::printf("corona-serverd: node %llu (%s) listening on %s:%u\n",
+              static_cast<unsigned long long>(node_id),
+              stateless ? "stateless" : "stateful", ep.value().host.c_str(),
+              port.value());
+  std::fflush(stdout);
+
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  rt.stop();
+  const auto s = rt.stats();
+  std::printf(
+      "corona-serverd: shut down; accepts=%llu frames_rx=%llu frames_tx=%llu\n",
+      static_cast<unsigned long long>(s.accepts),
+      static_cast<unsigned long long>(s.frames_received),
+      static_cast<unsigned long long>(s.frames_sent));
+  return 0;
+}

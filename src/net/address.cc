@@ -1,0 +1,97 @@
+#include "net/address.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace corona::net {
+
+namespace {
+
+Status bad(const std::string& what, const std::string& text) {
+  return Status::error(Errc::kInvalidArgument, what + ": '" + text + "'");
+}
+
+}  // namespace
+
+Result<Endpoint> parse_endpoint(const std::string& text) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == text.size()) {
+    return bad("endpoint must be host:port", text);
+  }
+  Endpoint ep;
+  ep.host = text.substr(0, colon);
+  const std::string port_str = text.substr(colon + 1);
+  unsigned long port = 0;
+  for (char c : port_str) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return bad("port must be numeric", text);
+    }
+    port = port * 10 + static_cast<unsigned long>(c - '0');
+    if (port > 65535) return bad("port out of range", text);
+  }
+  ep.port = static_cast<std::uint16_t>(port);
+  return ep;
+}
+
+Result<AddressBook> parse_address_book(const std::string& text) {
+  AddressBook book;
+  std::string entry;
+  // Entries split on commas or any whitespace.
+  std::string normalized = text;
+  for (char& c : normalized) {
+    if (c == ',' || c == '\t' || c == '\n' || c == '\r') c = ' ';
+  }
+  std::istringstream in(normalized);
+  while (in >> entry) {
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return bad("book entry must be id=host:port", entry);
+    }
+    const std::string id_str = entry.substr(0, eq);
+    std::uint64_t id = 0;
+    for (char c : id_str) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) {
+        return bad("node id must be numeric", entry);
+      }
+      id = id * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    auto ep = parse_endpoint(entry.substr(eq + 1));
+    if (!ep.is_ok()) return ep.status();
+    const auto [it, inserted] = book.emplace(NodeId{id}, ep.value());
+    (void)it;
+    if (!inserted) return bad("duplicate node id", entry);
+  }
+  if (book.empty()) return bad("empty address book", text);
+  return book;
+}
+
+Result<AddressBook> load_address_book_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::error(Errc::kNotFound, "cannot open book file: " + path);
+  }
+  std::string joined;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::size_t first = line.find_first_not_of(" \t");
+    line.erase(0, first == std::string::npos ? line.size() : first);
+    // `id host:port` is accepted as a file-format nicety: the first run of
+    // whitespace becomes the `=`.
+    const std::size_t ws = line.find_first_of(" \t");
+    if (ws != std::string::npos && line.find('=') == std::string::npos) {
+      line[ws] = '=';
+    }
+    joined += line;
+    joined += ' ';
+  }
+  if (joined.find_first_not_of(' ') == std::string::npos) {
+    return Status::error(Errc::kInvalidArgument,
+                         "book file has no entries: " + path);
+  }
+  return parse_address_book(joined);
+}
+
+}  // namespace corona::net

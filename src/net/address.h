@@ -1,0 +1,48 @@
+// Endpoints and the address book: how node ids map onto TCP addresses.
+//
+// The SocketRuntime keys everything by NodeId, exactly like the other two
+// engines; deployment supplies a small NodeId -> host:port table (the
+// "address book") naming the peers this process should maintain outbound
+// connections to.  A client daemon's book holds just its server; a replica
+// daemon's book holds the server mesh.  Peers NOT in the book can still
+// talk to us by connecting in — their routes are learned from the hello
+// frame — they just cannot be dialed.
+//
+// Formats accepted by the parsers (used by corona-serverd / corona-clientd
+// flags and config files):
+//
+//   endpoint      host:port          e.g.  127.0.0.1:7700
+//   book string   id=host:port[,id=host:port...]
+//   book file     one `id=host:port` (or `id host:port`) per line,
+//                 blank lines and `#` comments ignored
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/ids.h"
+#include "util/result.h"
+
+namespace corona::net {
+
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+
+  std::string to_string() const { return host + ":" + std::to_string(port); }
+
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+};
+
+using AddressBook = std::map<NodeId, Endpoint>;
+
+Result<Endpoint> parse_endpoint(const std::string& text);
+
+// Parses `id=host:port` entries separated by commas or whitespace.
+Result<AddressBook> parse_address_book(const std::string& text);
+
+// Loads a book file (one entry per line; `#` comments, blank lines ok).
+Result<AddressBook> load_address_book_file(const std::string& path);
+
+}  // namespace corona::net

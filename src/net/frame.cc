@@ -1,0 +1,146 @@
+#include "net/frame.h"
+
+#include "serial/decoder.h"
+#include "serial/encoder.h"
+
+namespace corona::net {
+
+namespace {
+
+// Prepends the 4-byte little-endian length to (kind + body).
+Bytes finish_frame(FrameKind kind, const Bytes& body) {
+  const std::size_t len = 1 + body.size();
+  Bytes out;
+  out.reserve(kFrameLengthBytes + len);
+  out.push_back(static_cast<std::uint8_t>(len & 0xff));
+  out.push_back(static_cast<std::uint8_t>((len >> 8) & 0xff));
+  out.push_back(static_cast<std::uint8_t>((len >> 16) & 0xff));
+  out.push_back(static_cast<std::uint8_t>((len >> 24) & 0xff));
+  out.push_back(static_cast<std::uint8_t>(kind));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+}  // namespace
+
+Bytes encode_hello_frame(const std::vector<NodeId>& local_nodes) {
+  Encoder e;
+  e.put_u8(kFrameProtocolVersion);
+  e.put_u64(local_nodes.size());
+  for (NodeId id : local_nodes) e.put_u64(id.value);
+  return finish_frame(FrameKind::kHello, e.buffer());
+}
+
+Bytes encode_message_frame(NodeId from, NodeId to, BytesView message_wire) {
+  Encoder e;
+  e.put_u64(from.value);
+  e.put_u64(to.value);
+  Bytes body = e.take();
+  body.insert(body.end(), message_wire.begin(), message_wire.end());
+  return finish_frame(FrameKind::kMessage, body);
+}
+
+Bytes encode_ping_frame() { return finish_frame(FrameKind::kPing, {}); }
+Bytes encode_pong_frame() { return finish_frame(FrameKind::kPong, {}); }
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t n) {
+  if (corrupt_ || n == 0) return;
+  // Compact once the consumed prefix dominates, so the buffer does not grow
+  // without bound across a long-lived connection.
+  if (pos_ > 0 && (pos_ >= buf_.size() || pos_ > 64 * 1024)) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+FrameDecoder::Next FrameDecoder::next(Frame* out) {
+  if (corrupt_) return Next::kCorrupt;
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < kFrameLengthBytes) return Next::kNeedMore;
+
+  const std::size_t len = static_cast<std::size_t>(buf_[pos_]) |
+                          static_cast<std::size_t>(buf_[pos_ + 1]) << 8 |
+                          static_cast<std::size_t>(buf_[pos_ + 2]) << 16 |
+                          static_cast<std::size_t>(buf_[pos_ + 3]) << 24;
+  // A frame is at least the kind byte; the ceiling catches garbage prefixes
+  // before they make us buffer an absurd amount of stream.
+  if (len < 1 || len > max_frame_bytes_) {
+    corrupt_ = true;
+    return Next::kCorrupt;
+  }
+  if (avail < kFrameLengthBytes + len) return Next::kNeedMore;
+
+  const BytesView body(buf_.data() + pos_ + kFrameLengthBytes + 1, len - 1);
+  const auto kind_byte = buf_[pos_ + kFrameLengthBytes];
+  pos_ += kFrameLengthBytes + len;
+
+  Frame frame;
+  switch (static_cast<FrameKind>(kind_byte)) {
+    case FrameKind::kHello:
+    case FrameKind::kMessage:
+    case FrameKind::kPing:
+    case FrameKind::kPong:
+      frame.kind = static_cast<FrameKind>(kind_byte);
+      break;
+    default:
+      corrupt_ = true;
+      return Next::kCorrupt;
+  }
+  const Next result = parse_body(body, &frame);
+  if (result == Next::kFrame) *out = std::move(frame);
+  return result;
+}
+
+FrameDecoder::Next FrameDecoder::parse_body(BytesView body, Frame* out) {
+  switch (out->kind) {
+    case FrameKind::kHello: {
+      Decoder d(body);
+      const std::uint8_t version = d.get_u8();
+      const std::uint64_t n = d.get_u64();
+      // The count is bounded by the bytes actually present (each id is at
+      // least one varint byte), so a lying count cannot trigger a huge
+      // allocation.
+      if (!d.ok() || version != kFrameProtocolVersion || n > d.remaining()) {
+        corrupt_ = true;
+        return Next::kCorrupt;
+      }
+      out->hello_nodes.reserve(static_cast<std::size_t>(n));
+      for (std::uint64_t i = 0; i < n; ++i) {
+        out->hello_nodes.push_back(NodeId{d.get_u64()});
+      }
+      if (!d.ok() || !d.at_end()) {
+        corrupt_ = true;
+        return Next::kCorrupt;
+      }
+      return Next::kFrame;
+    }
+    case FrameKind::kMessage: {
+      Decoder d(body);
+      out->from = NodeId{d.get_u64()};
+      out->to = NodeId{d.get_u64()};
+      if (!d.ok()) {
+        corrupt_ = true;
+        return Next::kCorrupt;
+      }
+      // The rest of the body is the encoded Message.  Its own strict decode
+      // (version, truncation, trailing bytes) runs at the dispatch layer.
+      const std::size_t consumed = body.size() - d.remaining();
+      out->message_wire.assign(body.begin() +
+                                   static_cast<std::ptrdiff_t>(consumed),
+                               body.end());
+      return Next::kFrame;
+    }
+    case FrameKind::kPing:
+    case FrameKind::kPong:
+      if (!body.empty()) {
+        corrupt_ = true;
+        return Next::kCorrupt;
+      }
+      return Next::kFrame;
+  }
+  corrupt_ = true;
+  return Next::kCorrupt;
+}
+
+}  // namespace corona::net

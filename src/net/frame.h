@@ -1,0 +1,97 @@
+// Stream framing for the TCP transport (see docs/PROTOCOL.md, "Stream
+// framing & connection lifecycle").
+//
+// TCP is a byte stream: one write() can arrive split across many reads and
+// many writes can coalesce into one read.  Every frame therefore carries a
+// fixed 4-byte little-endian length prefix covering everything after it
+// (kind byte + body), and the receiving side runs a FrameDecoder that
+// reassembles frames incrementally from arbitrary chunk boundaries.
+//
+// Frame kinds:
+//   kHello    — first frame on every outbound connection: protocol version +
+//               the node ids hosted by the connecting process, so the
+//               acceptor can route replies before any message flows.
+//   kMessage  — one routed wire message: (from, to) node ids followed by
+//               Message::encode() bytes.  from/to travel per frame because
+//               one connection multiplexes every node pair between two
+//               processes.
+//   kPing/kPong — transport-level liveness probes for idle connections.
+//
+// Decoding is strict, mirroring Message::decode(): an unknown kind, a bad
+// hello version, an over-limit length, or trailing bytes inside a frame body
+// all mark the stream corrupt, and the connection owning it must be torn
+// down (a framing error leaves no way to find the next frame boundary).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serial/message.h"
+#include "util/bytes.h"
+#include "util/ids.h"
+
+namespace corona::net {
+
+enum class FrameKind : std::uint8_t {
+  kHello = 1,
+  kMessage = 2,
+  kPing = 3,
+  kPong = 4,
+};
+
+// Version byte carried by kHello; bumped on incompatible framing changes.
+constexpr std::uint8_t kFrameProtocolVersion = 1;
+
+// Length prefix size on the wire.
+constexpr std::size_t kFrameLengthBytes = 4;
+
+// Default ceiling on (kind + body) size.  Generous enough for a full-state
+// join reply, small enough that a garbage length prefix cannot make the
+// decoder buffer gigabytes before noticing.
+constexpr std::size_t kDefaultMaxFrameBytes = 64 * 1024 * 1024;
+
+// One decoded frame.  Fields are populated according to `kind`.
+struct Frame {
+  FrameKind kind = FrameKind::kMessage;
+  std::vector<NodeId> hello_nodes;  // kHello: node ids behind the connection
+  NodeId from;                      // kMessage
+  NodeId to;                        // kMessage
+  Bytes message_wire;               // kMessage: Message::encode() bytes
+};
+
+Bytes encode_hello_frame(const std::vector<NodeId>& local_nodes);
+Bytes encode_message_frame(NodeId from, NodeId to, BytesView message_wire);
+Bytes encode_ping_frame();
+Bytes encode_pong_frame();
+
+// Incremental reassembler.  feed() raw stream chunks in arrival order, then
+// drain complete frames with next() until it reports kNeedMore.  Once the
+// stream is corrupt the decoder stays corrupt: framing errors are not
+// recoverable mid-stream.
+class FrameDecoder {
+ public:
+  enum class Next { kFrame, kNeedMore, kCorrupt };
+
+  explicit FrameDecoder(std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void feed(const std::uint8_t* data, std::size_t n);
+  void feed(BytesView chunk) { feed(chunk.data(), chunk.size()); }
+
+  // Extracts the next complete frame into *out.  kNeedMore leaves *out
+  // untouched; kCorrupt is terminal.
+  Next next(Frame* out);
+
+  bool corrupt() const { return corrupt_; }
+  std::size_t buffered_bytes() const { return buf_.size() - pos_; }
+
+ private:
+  Next parse_body(BytesView body, Frame* out);
+
+  std::size_t max_frame_bytes_;
+  Bytes buf_;
+  std::size_t pos_ = 0;  // consumed prefix of buf_
+  bool corrupt_ = false;
+};
+
+}  // namespace corona::net

@@ -62,8 +62,7 @@ TimePoint ThreadRuntime::now() const {
 void ThreadRuntime::send(NodeId from, NodeId to, const Message& m) {
   {
     std::lock_guard<std::mutex> lock(crash_mu_);
-    if (std::find(crashed_.begin(), crashed_.end(), from) != crashed_.end() ||
-        std::find(crashed_.begin(), crashed_.end(), to) != crashed_.end()) {
+    if (crashed_.contains(from) || crashed_.contains(to)) {
       return;
     }
   }
@@ -99,13 +98,12 @@ void ThreadRuntime::cancel_timer(TimerHandle handle) {
 
 void ThreadRuntime::crash(NodeId id) {
   std::lock_guard<std::mutex> lock(crash_mu_);
-  crashed_.push_back(id);
+  crashed_.insert(id);
 }
 
 void ThreadRuntime::restore(NodeId id) {
   std::lock_guard<std::mutex> lock(crash_mu_);
-  crashed_.erase(std::remove(crashed_.begin(), crashed_.end(), id),
-                 crashed_.end());
+  crashed_.erase(id);
 }
 
 bool ThreadRuntime::wait_quiescent(Duration timeout) {
@@ -192,8 +190,7 @@ void ThreadRuntime::worker_loop(NodeId id, Worker& w) {
       bool dropped;
       {
         std::lock_guard<std::mutex> lock(crash_mu_);
-        dropped = std::find(crashed_.begin(), crashed_.end(), id) !=
-                  crashed_.end();
+        dropped = crashed_.contains(id);
       }
       if (!dropped) {
         auto decoded = Message::decode(mail.wire);

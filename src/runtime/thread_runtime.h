@@ -13,6 +13,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -87,7 +88,9 @@ class ThreadRuntime : public Runtime {
   std::vector<TimerHandle> cancelled_;
   std::atomic<std::uint64_t> next_timer_{1};
   std::mutex crash_mu_;
-  std::vector<NodeId> crashed_;
+  // Sorted so the per-send membership probe is O(log n) instead of a linear
+  // scan; sends are the hot path, crash/restore are rare.
+  std::set<NodeId> crashed_;
 };
 
 }  // namespace corona

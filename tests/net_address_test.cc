@@ -1,0 +1,68 @@
+// Address-book parsing: the tiny config layer feeding corona-serverd and
+// corona-clientd.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "net/address.h"
+
+namespace corona::net {
+namespace {
+
+TEST(SocketAddress, ParsesEndpoint) {
+  auto ep = parse_endpoint("127.0.0.1:7700");
+  ASSERT_TRUE(ep.is_ok());
+  EXPECT_EQ(ep.value().host, "127.0.0.1");
+  EXPECT_EQ(ep.value().port, 7700);
+  EXPECT_EQ(ep.value().to_string(), "127.0.0.1:7700");
+}
+
+TEST(SocketAddress, RejectsMalformedEndpoints) {
+  EXPECT_FALSE(parse_endpoint("").is_ok());
+  EXPECT_FALSE(parse_endpoint("nohost").is_ok());
+  EXPECT_FALSE(parse_endpoint(":80").is_ok());
+  EXPECT_FALSE(parse_endpoint("host:").is_ok());
+  EXPECT_FALSE(parse_endpoint("host:abc").is_ok());
+  EXPECT_FALSE(parse_endpoint("host:70000").is_ok());
+}
+
+TEST(SocketAddress, ParsesBookString) {
+  auto book = parse_address_book("1=10.0.0.1:7700, 2=10.0.0.2:7700");
+  ASSERT_TRUE(book.is_ok());
+  ASSERT_EQ(book.value().size(), 2u);
+  EXPECT_EQ(book.value().at(NodeId{1}).host, "10.0.0.1");
+  EXPECT_EQ(book.value().at(NodeId{2}).port, 7700);
+}
+
+TEST(SocketAddress, RejectsBadBooks) {
+  EXPECT_FALSE(parse_address_book("").is_ok());
+  EXPECT_FALSE(parse_address_book("x=1.2.3.4:1").is_ok());
+  EXPECT_FALSE(parse_address_book("1=nope").is_ok());
+  EXPECT_FALSE(parse_address_book("1=h:1,1=h:2").is_ok());  // duplicate id
+}
+
+TEST(SocketAddress, LoadsBookFileWithCommentsAndBlankLines) {
+  const std::string path = ::testing::TempDir() + "/corona_book_test.txt";
+  {
+    std::ofstream out(path);
+    out << "# the server mesh\n"
+        << "\n"
+        << "1=127.0.0.1:7700\n"
+        << "  2 127.0.0.1:7701   # space form\n";
+  }
+  auto book = load_address_book_file(path);
+  ASSERT_TRUE(book.is_ok()) << book.status().to_string();
+  ASSERT_EQ(book.value().size(), 2u);
+  EXPECT_EQ(book.value().at(NodeId{2}).port, 7701);
+  std::remove(path.c_str());
+}
+
+TEST(SocketAddress, MissingBookFileIsNotFound) {
+  auto book = load_address_book_file("/nonexistent/corona/book");
+  ASSERT_FALSE(book.is_ok());
+  EXPECT_EQ(book.status().code, Errc::kNotFound);
+}
+
+}  // namespace
+}  // namespace corona::net

@@ -230,6 +230,32 @@ TEST(ThreadRuntime, CrashSuppressesDelivery) {
   EXPECT_EQ(b.received, 0);
 }
 
+TEST(ThreadRuntime, RestoreLiftsCrashSuppression) {
+  // crash() must drop traffic in both directions; restore() must undo it
+  // completely, including for nodes crashed more than once.
+  ThreadRuntime rt;
+  Counter a, b;
+  rt.add_node(NodeId{1}, &a);
+  rt.add_node(NodeId{2}, &b);
+  rt.start();
+  Message m;
+  m.type = MsgType::kDeliver;
+
+  rt.crash(NodeId{2});
+  rt.crash(NodeId{2});  // double-crash must not confuse bookkeeping
+  rt.send(NodeId{1}, NodeId{2}, m);  // dropped: receiver crashed
+  rt.send(NodeId{2}, NodeId{1}, m);  // dropped: sender crashed
+  ASSERT_TRUE(rt.wait_quiescent(1 * kSecond));
+
+  rt.restore(NodeId{2});
+  rt.send(NodeId{1}, NodeId{2}, m);
+  rt.send(NodeId{2}, NodeId{1}, m);
+  ASSERT_TRUE(rt.wait_quiescent(1 * kSecond));
+  rt.stop();
+  EXPECT_EQ(a.received, 1);
+  EXPECT_EQ(b.received, 1);
+}
+
 TEST(ThreadRuntime, ManyNodesManyMessages) {
   // 8 nodes all ping node 1; checks mailbox thread-safety under load.
   ThreadRuntime rt;

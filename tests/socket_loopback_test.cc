@@ -1,0 +1,345 @@
+// End-to-end Corona over real TCP on 127.0.0.1: one SocketRuntime process
+// hosting the stateful server, three more hosting one CoronaClient each —
+// four event loops, four real sockets, the unchanged protocol code from
+// src/core.  Covers the full session: create, join with customized state
+// transfer, >100 sequenced multicasts in identical total order, locks, a
+// dropped-and-reconnected client resyncing via retransmission, and leave.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/client.h"
+#include "core/server.h"
+#include "core/stateless_server.h"
+#include "net/socket_runtime.h"
+
+namespace corona::net {
+namespace {
+
+const NodeId kServerId{1};
+const GroupId kG{1};
+const ObjectId kObj{1};
+
+// Polls `pred` until it holds or `timeout` wall-clock elapses.  Generous
+// timeouts keep this stable under sanitizers on loaded machines.
+bool wait_until(const std::function<bool()>& pred,
+                Duration timeout = 30 * kSecond) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(timeout);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return pred();
+}
+
+// One client "process": its own SocketRuntime whose address book holds just
+// the server, plus journals filled from the delivery callback.
+struct ClientProc {
+  explicit ClientProc(NodeId id, std::uint16_t server_port,
+                      SocketRuntimeConfig cfg = {})
+      : rt(cfg), id(id) {
+    CoronaClient::Callbacks cb;
+    cb.on_deliver = [this](GroupId, const UpdateRecord& rec) {
+      std::lock_guard<std::mutex> lock(mu);
+      journal.push_back(rec.seq);
+    };
+    cb.on_joined = [this](GroupId, Status s) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (s.is_ok()) ++joins_ok;
+    };
+    cb.on_lock_granted = [this](GroupId, ObjectId) {
+      std::lock_guard<std::mutex> lock(mu);
+      ++lock_grants;
+    };
+    cb.on_reply = [this](RequestId, Status s) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (s.is_ok()) ++replies_ok;
+    };
+    client = std::make_unique<CoronaClient>(kServerId, cb);
+    rt.add_node(id, client.get());
+    rt.set_peer_address(kServerId, Endpoint{"127.0.0.1", server_port});
+    rt.start();
+  }
+  ~ClientProc() { rt.stop(); }
+
+  std::size_t journal_size() {
+    std::lock_guard<std::mutex> lock(mu);
+    return journal.size();
+  }
+  std::vector<SeqNo> journal_copy() {
+    std::lock_guard<std::mutex> lock(mu);
+    return journal;
+  }
+  void clear_journal() {
+    std::lock_guard<std::mutex> lock(mu);
+    journal.clear();
+  }
+  int joins() {
+    std::lock_guard<std::mutex> lock(mu);
+    return joins_ok;
+  }
+  int grants() {
+    std::lock_guard<std::mutex> lock(mu);
+    return lock_grants;
+  }
+  int replies() {
+    std::lock_guard<std::mutex> lock(mu);
+    return replies_ok;
+  }
+
+  SocketRuntime rt;
+  NodeId id;
+  std::unique_ptr<CoronaClient> client;
+
+  std::mutex mu;
+  std::vector<SeqNo> journal;
+  int joins_ok = 0;
+  int lock_grants = 0;
+  int replies_ok = 0;
+};
+
+TEST(SocketLoopback, FullSessionOverRealTcp) {
+  // --- server process ---
+  SocketRuntime server_rt;
+  GroupStore store;
+  CoronaServer server(ServerConfig{}, &store);
+  server_rt.add_node(kServerId, &server);
+  auto port = server_rt.listen("127.0.0.1", 0);
+  ASSERT_TRUE(port.is_ok()) << port.status().to_string();
+  server_rt.start();
+
+  // --- three client processes, real connections over 127.0.0.1 ---
+  ClientProc c0(NodeId{100}, port.value());
+  ClientProc c1(NodeId{101}, port.value());
+  // c2 gets a long reconnect backoff so the disconnect window below is wide
+  // enough that deliveries are provably lost and must be re-fetched.
+  SocketRuntimeConfig slow_redial;
+  slow_redial.reconnect_backoff_min = 500 * kMillisecond;
+  ClientProc c2(NodeId{102}, port.value(), slow_redial);
+
+  ASSERT_TRUE(wait_until([&] { return server_rt.stats().accepts >= 3; }));
+
+  // --- create + join (full transfer for c0/c1) ---
+  c0.client->create_group(kG, "g", true);
+  // c1's join rides a different TCP connection than c0's create, so nothing
+  // orders them at the server; wait for the create ack before c1 joins.
+  ASSERT_TRUE(wait_until([&] { return c0.replies() >= 1; }));
+  c0.client->join(kG);
+  c1.client->join(kG);
+  ASSERT_TRUE(wait_until([&] { return c0.joins() == 1 && c1.joins() == 1; }));
+
+  // --- customized state transfer: 20 updates, then join with last-5 ---
+  for (int i = 0; i < 20; ++i) {
+    c0.client->bcast_update(kG, kObj, to_bytes("u"));
+  }
+  ASSERT_TRUE(wait_until([&] { return c1.journal_size() >= 20; }));
+  c2.client->join(kG, TransferPolicySpec::last_n_updates(5));
+  ASSERT_TRUE(wait_until([&] { return c2.joins() == 1; }));
+  {
+    const SharedState* st = c2.client->group_state(kG);
+    ASSERT_NE(st, nullptr);
+    ASSERT_NE(st->object(kObj), nullptr);
+    EXPECT_EQ(st->object(kObj)->size(), 5u)
+        << "last_n_updates(5) must transfer exactly the 5 newest updates";
+    const SharedState* full = c1.client->group_state(kG);
+    ASSERT_NE(full, nullptr);
+    EXPECT_EQ(full->object(kObj)->size(), 20u);
+  }
+
+  // --- >100 sequenced multicasts from all three, identical total order ---
+  c0.clear_journal();
+  c1.clear_journal();
+  c2.clear_journal();
+  constexpr int kRounds = 35;  // 3 * 35 = 105 multicasts
+  for (int round = 0; round < kRounds; ++round) {
+    c0.client->bcast_update(kG, kObj, to_bytes("a"));
+    c1.client->bcast_update(kG, kObj, to_bytes("b"));
+    c2.client->bcast_update(kG, kObj, to_bytes("c"));
+  }
+  const std::size_t expect = 3 * kRounds;
+  ASSERT_TRUE(wait_until([&] {
+    return c0.journal_size() >= expect && c1.journal_size() >= expect &&
+           c2.journal_size() >= expect;
+  }));
+  const auto j0 = c0.journal_copy();
+  const auto j1 = c1.journal_copy();
+  const auto j2 = c2.journal_copy();
+  ASSERT_EQ(j0.size(), expect);
+  EXPECT_EQ(j0, j1) << "clients saw different total orders";
+  EXPECT_EQ(j0, j2) << "clients saw different total orders";
+  for (std::size_t i = 1; i < j0.size(); ++i) {
+    ASSERT_EQ(j0[i - 1] + 1, j0[i]) << "sequence gap in the total order";
+  }
+
+  // --- locks serialize across real connections ---
+  c0.client->lock(kG, kObj);
+  ASSERT_TRUE(wait_until([&] { return c0.grants() == 1; }));
+  c1.client->lock(kG, kObj);  // must queue behind c0
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(c1.grants(), 0);
+  c0.client->unlock(kG, kObj);
+  ASSERT_TRUE(wait_until([&] { return c1.grants() == 1; }));
+  c1.client->unlock(kG, kObj);
+
+  // --- disconnect c2, lose deliveries, reconnect, resync via retransmit ---
+  const auto disconnects_before = server_rt.stats().disconnects;
+  server_rt.drop_connection(NodeId{102});
+  ASSERT_TRUE(wait_until(
+      [&] { return server_rt.stats().disconnects > disconnects_before; }));
+  // These fan-outs happen while c2 has no connection (its redial waits
+  // 500 ms), so its copies are dropped at the server and must come back
+  // through the retransmission path.
+  for (int i = 0; i < 5; ++i) {
+    c0.client->bcast_update(kG, kObj, to_bytes("lost"));
+  }
+  ASSERT_TRUE(wait_until([&] {
+    return c0.journal_size() >= expect + 5 && c1.journal_size() >= expect + 5;
+  }));
+  EXPECT_LT(c2.journal_size(), expect + 5) << "c2 was supposed to be offline";
+  // Wait out the redial, then send one more update: its sequence number
+  // exposes the gap to c2, which requests retransmission and catches up.
+  ASSERT_TRUE(wait_until(
+      [&] { return c2.rt.stats().connects_ok >= 2; }, 60 * kSecond));
+  c0.client->bcast_update(kG, kObj, to_bytes("after"));
+  ASSERT_TRUE(wait_until([&] {
+    return c2.journal_size() >= expect + 6;
+  }));
+  EXPECT_GE(c2.client->gaps_detected(), 1u);
+  EXPECT_EQ(c2.journal_copy(), c0.journal_copy())
+      << "resynced client diverged from the total order";
+
+  // --- leave: no further deliveries reach c2 ---
+  c2.client->leave(kG);
+  ASSERT_TRUE(wait_until([&] { return !c2.client->is_joined(kG); }));
+  const std::size_t c2_final = c2.journal_size();
+  c0.client->bcast_update(kG, kObj, to_bytes("bye"));
+  ASSERT_TRUE(wait_until([&] { return c0.journal_size() >= expect + 7; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(c2.journal_size(), c2_final);
+
+  c2.rt.stop();
+  c1.rt.stop();
+  c0.rt.stop();
+  server_rt.stop();
+}
+
+TEST(SocketLoopback, StatelessServerSequencesOverSockets) {
+  // The Figure-3 stateless configuration deploys over TCP unchanged too.
+  SocketRuntime server_rt;
+  StatelessServer server;
+  server_rt.add_node(kServerId, &server);
+  auto port = server_rt.listen("127.0.0.1", 0);
+  ASSERT_TRUE(port.is_ok()) << port.status().to_string();
+  server_rt.start();
+
+  ClientProc a(NodeId{100}, port.value());
+  ClientProc b(NodeId{101}, port.value());
+
+  a.client->create_group(kG, "g", false);
+  // b's join is on a different connection than a's create; wait for the ack.
+  ASSERT_TRUE(wait_until([&] { return a.replies() >= 1; }));
+  a.client->join(kG, TransferPolicySpec::nothing());
+  b.client->join(kG, TransferPolicySpec::nothing());
+  ASSERT_TRUE(wait_until([&] { return a.joins() == 1 && b.joins() == 1; }));
+
+  for (int i = 0; i < 10; ++i) {
+    a.client->bcast_update(kG, kObj, to_bytes("x"));
+  }
+  ASSERT_TRUE(wait_until(
+      [&] { return a.journal_size() >= 10 && b.journal_size() >= 10; }));
+  EXPECT_EQ(a.journal_copy(), b.journal_copy());
+
+  a.rt.stop();
+  b.rt.stop();
+  server_rt.stop();
+}
+
+// Node::on_timer must work unchanged on the socket engine.
+class TickNode : public Node {
+ public:
+  std::atomic<int> fired{0};
+  TimerHandle cancelled = 0;
+
+  void on_start() override {
+    set_timer(5 * kMillisecond, 1);
+    cancelled = set_timer(10 * kMillisecond, 2);
+    cancel_timer(cancelled);
+    set_timer(15 * kMillisecond, 3);
+  }
+  void on_message(NodeId, const Message&) override {}
+  void on_timer(std::uint64_t tag) override {
+    EXPECT_NE(tag, 2u) << "cancelled timer fired";
+    fired.fetch_add(1);
+  }
+};
+
+TEST(SocketLoopback, TimersFireAndCancelOnLoopThread) {
+  SocketRuntime rt;
+  TickNode n;
+  rt.add_node(NodeId{1}, &n);
+  rt.start();
+  ASSERT_TRUE(wait_until([&] { return n.fired.load() >= 2; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  rt.stop();
+  EXPECT_EQ(n.fired.load(), 2);
+}
+
+TEST(SocketLoopback, TransportKeepaliveKeepsIdleConnectionAlive) {
+  SocketRuntime server_rt;
+  GroupStore store;
+  CoronaServer server(ServerConfig{}, &store);
+  server_rt.add_node(kServerId, &server);
+  auto port = server_rt.listen("127.0.0.1", 0);
+  ASSERT_TRUE(port.is_ok());
+  server_rt.start();
+
+  SocketRuntimeConfig cfg;
+  cfg.keepalive_interval = 20 * kMillisecond;
+  ClientProc c(NodeId{100}, port.value(), cfg);
+  ASSERT_TRUE(wait_until([&] { return c.rt.stats().pings_sent >= 3; }));
+  // Pongs came back on the same connection; no reconnect happened.
+  EXPECT_EQ(c.rt.stats().connects_ok, 1u);
+  EXPECT_EQ(c.rt.stats().disconnects, 0u);
+
+  c.rt.stop();
+  server_rt.stop();
+}
+
+TEST(SocketLoopback, ServerUnreachableThenReachable) {
+  // A client started before its server exists must keep redialing with
+  // backoff and deliver the queued traffic once the server appears.
+  SocketRuntime probe;
+  auto port = probe.listen("127.0.0.1", 0);  // reserve an ephemeral port
+  ASSERT_TRUE(port.is_ok());
+  const std::uint16_t p = port.value();
+  // Release the port (nothing listens there now).
+  probe.stop();
+
+  ClientProc c(NodeId{100}, p);
+  c.client->create_group(kG, "g", true);  // queued toward the absent server
+  ASSERT_TRUE(wait_until(
+      [&] { return c.rt.stats().reconnects_scheduled >= 2; }));
+
+  SocketRuntime server_rt;
+  GroupStore store;
+  CoronaServer server(ServerConfig{}, &store);
+  server_rt.add_node(kServerId, &server);
+  auto rebind = server_rt.listen("127.0.0.1", p);
+  ASSERT_TRUE(rebind.is_ok()) << rebind.status().to_string();
+  server_rt.start();
+
+  c.client->join(kG);
+  ASSERT_TRUE(wait_until([&] { return c.joins() == 1; }, 60 * kSecond));
+
+  c.rt.stop();
+  server_rt.stop();
+}
+
+}  // namespace
+}  // namespace corona::net

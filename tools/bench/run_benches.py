@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Run the paper-reproduction benches and merge their --json metrics.
+
+Runs fig3_roundtrip, table1_throughput, and table2_replicated from a build
+tree, collects each binary's `--json` output, and writes one merged baseline
+file (default: BENCH_socket_baseline.json in the repo root) keyed by bench
+name.  Exit status is non-zero if any bench fails to run or emits no JSON.
+
+Usage:
+    tools/bench/run_benches.py [--build-dir build] [--out BENCH_socket_baseline.json]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+BENCHES = ["fig3_roundtrip", "table1_throughput", "table2_replicated"]
+
+
+def repo_root() -> str:
+    return os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def find_binary(build_dir: str, name: str) -> str:
+    candidates = [
+        os.path.join(build_dir, "bench", name),
+        os.path.join(build_dir, "bin", name),
+        os.path.join(build_dir, name),
+    ]
+    for path in candidates:
+        if os.path.isfile(path) and os.access(path, os.X_OK):
+            return path
+    raise FileNotFoundError(
+        f"bench binary '{name}' not found under {build_dir} "
+        f"(tried: {', '.join(candidates)}); build the 'bench' targets first"
+    )
+
+
+def run_bench(binary: str, timeout_s: int) -> dict:
+    with tempfile.NamedTemporaryFile(
+        mode="r", suffix=".json", prefix="corona_bench_", delete=False
+    ) as tmp:
+        tmp_path = tmp.name
+    try:
+        proc = subprocess.run(
+            [binary, "--json", tmp_path],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            timeout=timeout_s,
+        )
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stdout)
+            raise RuntimeError(f"{binary} exited with status {proc.returncode}")
+        with open(tmp_path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    finally:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--build-dir",
+        default=os.path.join(repo_root(), "build"),
+        help="CMake build tree holding the bench binaries (default: ./build)",
+    )
+    parser.add_argument(
+        "--out",
+        default=os.path.join(repo_root(), "BENCH_socket_baseline.json"),
+        help="merged output path (default: BENCH_socket_baseline.json)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=int,
+        default=1800,
+        help="per-bench timeout in seconds (default: 1800)",
+    )
+    args = parser.parse_args()
+
+    merged = {}
+    for name in BENCHES:
+        binary = find_binary(args.build_dir, name)
+        print(f"[run_benches] running {name} ...", flush=True)
+        result = run_bench(binary, args.timeout)
+        bench_key = result.get("bench", name)
+        metrics = {k: v for k, v in result.items() if k != "bench"}
+        if not metrics:
+            raise RuntimeError(f"{name} emitted an empty metrics object")
+        merged[bench_key] = metrics
+        print(f"[run_benches]   {len(metrics)} metrics", flush=True)
+
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(merged, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"[run_benches] wrote {args.out} ({len(merged)} benches)")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except (FileNotFoundError, RuntimeError, subprocess.TimeoutExpired) as err:
+        sys.stderr.write(f"[run_benches] error: {err}\n")
+        sys.exit(1)

@@ -9,31 +9,35 @@ clocks and threads — that is its job).
 
 Rules (see docs/ANALYSIS.md for the full contract):
 
-  wall-clock     src/** except runtime/thread_runtime.*
+  wall-clock     src/** except runtime/thread_runtime.* and net/
                  No std::chrono::{system,steady,high_resolution}_clock,
                  time(), gettimeofday, clock_gettime, localtime, gmtime.
                  Sim-visible code must read time from its injected Runtime.
+                 (net/ is a real transport: wall-clock is its job, like the
+                 thread runtime.)
 
   raw-random     src/** except runtime/thread_runtime.*
                  No rand()/srand()/drand48, std::random_device, std::mt19937.
                  All randomness flows through the seeded util/rng.h.
+                 net/ is NOT exempt: reconnect backoff etc. must be
+                 deterministic.
 
   unordered-container
-                 src/core, src/replica, src/sim
+                 src/core, src/replica, src/sim, src/net
                  No std::unordered_map/set declarations: iteration order is
                  nondeterministic and *someone* eventually iterates.  Use
                  std::map/std::set, or waive lookup-only uses.
 
   unordered-iteration
-                 src/core, src/replica, src/sim
+                 src/core, src/replica, src/sim, src/net
                  No range-for / .begin() iteration over an identifier that
                  was declared anywhere in the scanned tree as an unordered
                  container (catches members declared in headers elsewhere).
 
-  raw-thread     src/** except src/runtime
+  raw-thread     src/** except src/runtime and src/net
                  No std::thread/std::jthread/std::mutex/std::shared_mutex/
                  std::recursive_mutex/std::condition_variable/std::async.
-                 Concurrency lives in the runtime layer only.
+                 Concurrency lives in the runtime and transport layers only.
 
   float-accum    src/sim
                  No float/double in sim cost models without an explicit
@@ -106,7 +110,7 @@ RULES = [
     Rule(
         "wall-clock",
         "clock",
-        everywhere_except("runtime/thread_runtime."),
+        everywhere_except("runtime/thread_runtime.", "net/"),
         re.compile(
             r"std::chrono::(?:system|steady|high_resolution)_clock"
             r"|\b(?:system|steady|high_resolution)_clock::"
@@ -130,7 +134,7 @@ RULES = [
     Rule(
         "unordered-container",
         "unordered",
-        in_dirs("core/", "replica/", "sim/"),
+        in_dirs("core/", "replica/", "sim/", "net/"),
         re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b"),
         "unordered container in determinism-critical code; iteration order "
         "is nondeterministic — use std::map/std::set (or waive a proven "
@@ -139,7 +143,7 @@ RULES = [
     Rule(
         "raw-thread",
         "thread",
-        everywhere_except("runtime/"),
+        everywhere_except("runtime/", "net/"),
         re.compile(
             r"std::(?:jthread|thread|mutex|shared_mutex|recursive_mutex|"
             r"timed_mutex|condition_variable|async)\b"
@@ -298,7 +302,7 @@ def lint_file(path: str,
     whole_file_waivers = file_waivers(text)
     pair_unordered = unordered_names.get(file_stem(path), set())
     prev_waivers: set[str] = set()
-    iteration_scoped = in_dirs("core/", "replica/", "sim/")(rel)
+    iteration_scoped = in_dirs("core/", "replica/", "sim/", "net/")(rel)
     for lineno, raw, code in logical_lines(text):
         active_waivers = waivers_on(raw) | prev_waivers | whole_file_waivers
         # A waiver-only line waives the NEXT line; a code line's waiver

@@ -1,0 +1,23 @@
+// Fixture: what src/net/ still must NOT do — unordered containers (route
+// tables get iterated; order must be deterministic) and unseeded
+// randomness (reconnect backoff must be reproducible).
+#include <cstdlib>
+#include <unordered_map>
+
+namespace fixture {
+
+std::unordered_map<int, int> routes_;                       // line 9: flagged
+
+int jittered_backoff(int base) {
+  return base + rand() % base;                              // line 12: flagged
+}
+
+int sum_routes() {
+  int n = 0;
+  for (const auto& [id, fd] : routes_) {                    // line 17: flagged
+    n += id + fd;
+  }
+  return n;
+}
+
+}  // namespace fixture

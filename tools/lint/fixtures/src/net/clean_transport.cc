@@ -1,0 +1,22 @@
+// Fixture: src/net/ is a real transport — wall clocks and threading
+// primitives are its job (like the thread runtime) and must lint clean
+// without waivers.  Randomness stays banned there.
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace fixture {
+
+std::mutex net_mu;  // allowed: src/net/ owns its loop-thread concurrency
+
+long transport_now() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();  // allowed
+}
+
+void spawn_loop() {
+  std::thread loop([] {});  // allowed
+  loop.join();
+}
+
+}  // namespace fixture

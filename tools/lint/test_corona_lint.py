@@ -52,12 +52,25 @@ class FixtureTree(unittest.TestCase):
             ("src/sim/bad_float.cc", 5, "float-accum"),
             ("src/serial/bad_thread.cc", 7, "raw-thread"),
             ("src/serial/bad_thread.cc", 10, "raw-thread"),
+            ("src/net/bad_net.cc", 9, "unordered-container"),
+            ("src/net/bad_net.cc", 12, "raw-random"),
+            ("src/net/bad_net.cc", 17, "unordered-iteration"),
         }
         self.assertEqual(keyed(lint(FIXTURES)), expected)
 
     def test_thread_runtime_is_exempt(self):
         path = os.path.join(FIXTURES, "src", "runtime", "thread_runtime.cc")
         self.assertEqual(lint(path), [])
+
+    def test_net_transport_may_use_clocks_and_threads(self):
+        path = os.path.join(FIXTURES, "src", "net", "clean_transport.cc")
+        self.assertEqual(lint(path), [])
+
+    def test_net_still_bans_unordered_and_random(self):
+        path = os.path.join(FIXTURES, "src", "net", "bad_net.cc")
+        rules = sorted(v.rule for v in lint(path))
+        self.assertEqual(
+            rules, ["raw-random", "unordered-container", "unordered-iteration"])
 
     def test_file_waiver_covers_whole_file(self):
         path = os.path.join(FIXTURES, "src", "core", "clean_waived.cc")
