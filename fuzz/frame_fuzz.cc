@@ -1,0 +1,40 @@
+// libFuzzer entry for the stream framing decoder (net/frame.h), built
+// behind -DCORONA_FUZZ=ON.  The input is treated as one received byte
+// stream; the first byte seeds the chunking so coverage includes reassembly
+// across arbitrary read boundaries, not just whole-buffer feeds.
+//
+//   cmake --preset asan -DCORONA_FUZZ=ON && cmake --build build/asan -j
+//   ./build/asan/fuzz/frame_fuzz -max_total_time=60
+//
+// The deterministic seeded twin of this harness runs in every build as
+// tests/net_frame_fuzz_test.cc.
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "net/frame.h"
+#include "util/rng.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using corona::net::Frame;
+  using corona::net::FrameDecoder;
+
+  // Bound the buffer the decoder may legitimately hold so a fuzzed length
+  // prefix cannot turn into an OOM report instead of a finding.
+  FrameDecoder decoder(1 << 20);
+  corona::Rng chunker(size == 0 ? 1 : data[0]);
+
+  std::size_t off = size == 0 ? 0 : 1;
+  while (off < size) {
+    const std::size_t chunk = static_cast<std::size_t>(
+        std::min<std::uint64_t>(size - off, chunker.next_range(1, 97)));
+    decoder.feed(data + off, chunk);
+    off += chunk;
+    Frame frame;
+    while (decoder.next(&frame) == FrameDecoder::Next::kFrame) {
+    }
+    if (decoder.corrupt()) break;
+  }
+  return 0;
+}

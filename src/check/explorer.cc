@@ -1,0 +1,242 @@
+#include "check/explorer.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "util/invariant.h"
+
+namespace corona::check {
+namespace {
+
+// CORONA_INVARIANT checkpoints abort by default; during exploration they are
+// routed into the current world's report so a tripped checkpoint is one more
+// oracle violation with a replayable trace.  Single-threaded by design (the
+// sim is single-threaded); the previous handler is restored after each run.
+CheckWorld* g_checked_world = nullptr;
+
+void recording_handler(const char* file, int line, const char* expr,
+                       const char* message) {
+  if (g_checked_world == nullptr) return;
+  g_checked_world->external_fail(std::string("checkpoint ") + file + ":" +
+                                 std::to_string(line) + " (" + expr +
+                                 "): " + message);
+}
+
+std::uint64_t hash_prefix(const std::vector<std::uint32_t>& choices,
+                          std::size_t len) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < len && i < choices.size(); ++i) {
+    h ^= choices[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+ControlledScheduler::ControlledScheduler(CheckWorld& world,
+                                         const ExplorerOptions& options,
+                                         const ScheduleTrace& prescribed,
+                                         Rng* rng)
+    : world_(world),
+      options_(options),
+      prescribed_(prescribed),
+      rng_(rng),
+      max_decisions_(std::max(static_cast<std::size_t>(options.max_decisions),
+                              prescribed.size())),
+      delay_credits_(options.delay_budget) {}
+
+ScheduleTrace ControlledScheduler::executed() const {
+  ScheduleTrace t;
+  t.choices.reserve(decisions_.size());
+  for (const Decision& d : decisions_) t.choices.push_back(d.choice);
+  return t;
+}
+
+std::uint64_t ControlledScheduler::pick(
+    const std::vector<EventDesc>& enabled) {
+  const EventDesc& front = enabled.front();
+  if (front.tag.kind != EventKind::kArrival || world_.violated() ||
+      decisions_.size() >= max_decisions_) {
+    return front.id;
+  }
+
+  // Candidate deliveries: the head (earliest (at, id)) arrival of each
+  // (from, to) channel; `enabled` is sorted, so the first arrival seen per
+  // channel is its head.  Later-than-front candidates need delay credit.
+  std::vector<const EventDesc*> cands;
+  std::set<std::pair<std::uint64_t, std::uint64_t>> channels;
+  for (const EventDesc& e : enabled) {
+    if (e.tag.kind != EventKind::kArrival) continue;
+    if (!options_.relax_channel_fifo &&
+        !channels.insert({e.tag.a, e.tag.b}).second) {
+      continue;
+    }
+    if (e.at > front.at && delay_credits_ <= 0) continue;
+    cands.push_back(&e);
+    if (cands.size() >= static_cast<std::size_t>(options_.max_branch)) break;
+  }
+
+  int crash_choice = -1;
+  int partition_choice = -1;
+  if (world_.fault_window_open()) {
+    int next = static_cast<int>(cands.size());
+    if (world_.can_crash_server()) crash_choice = next++;
+    if (world_.can_partition_client()) partition_choice = next++;
+  }
+  const std::uint32_t width =
+      static_cast<std::uint32_t>(cands.size()) + (crash_choice >= 0 ? 1 : 0) +
+      (partition_choice >= 0 ? 1 : 0);
+  if (width <= 1) return front.id;
+
+  const std::size_t pos = decisions_.size();
+  std::uint32_t choice = 0;
+  if (pos < prescribed_.choices.size()) {
+    choice = prescribed_.choices[pos];
+    if (choice >= width) choice = 0;  // minimizer may have shrunk the tree
+  } else if (rng_ != nullptr) {
+    choice = static_cast<std::uint32_t>(rng_->next_below(width));
+  }
+  decisions_.push_back(Decision{choice, width, world_.state_hash()});
+
+  if (static_cast<int>(choice) == crash_choice) {
+    world_.crash_server();
+    return front.id;
+  }
+  if (static_cast<int>(choice) == partition_choice) {
+    world_.partition_client();
+    return front.id;
+  }
+  const EventDesc* chosen = cands[choice];
+  if (chosen->at > front.at) --delay_credits_;
+  return chosen->id;
+}
+
+Explorer::Explorer(WorldOptions world_options, ExplorerOptions options)
+    : world_options_(world_options), options_(options) {}
+
+RunResult Explorer::run_one(const ScheduleTrace& prescribed, Rng* rng) {
+  CheckWorld world(world_options_);
+  ControlledScheduler scheduler(world, options_, prescribed, rng);
+  world.rt().sim().set_scheduler(&scheduler);
+  g_checked_world = &world;
+  const InvariantHandler previous = set_invariant_handler(recording_handler);
+
+  world.arm();
+  auto& queue = world.rt().sim().queue();
+  RunResult result;
+  while (!world.finished() && !world.violated() &&
+         result.steps < options_.max_steps) {
+    if (!queue.run_next()) break;
+    ++result.steps;
+    if (options_.heavy_check_every > 0 &&
+        result.steps % options_.heavy_check_every == 0) {
+      world.heavy_check();
+    }
+  }
+  if (!world.violated()) world.final_check();
+
+  set_invariant_handler(previous);
+  g_checked_world = nullptr;
+  world.rt().sim().set_scheduler(nullptr);
+
+  result.violated = world.violated();
+  result.report = world.violation();
+  result.deliveries = world.deliveries();
+  result.crashes = world.crashes_used();
+  result.partitions = world.partitions_used();
+  result.executed = scheduler.executed();
+  result.decisions = scheduler.decisions();
+  return result;
+}
+
+std::optional<ScheduleTrace> Explorer::next_trace(const RunResult& last) {
+  const auto& decisions = last.decisions;
+  // Register first sightings before backtracking, so a run never prunes a
+  // state it discovered itself.
+  if (options_.prune_visited) {
+    for (std::size_t i = 0; i < decisions.size(); ++i) {
+      visited_.try_emplace(decisions[i].state_hash,
+                           hash_prefix(last.executed.choices, i));
+    }
+  }
+  for (std::size_t i = decisions.size(); i-- > 0;) {
+    if (options_.prune_visited) {
+      const auto it = visited_.find(decisions[i].state_hash);
+      if (it != visited_.end() &&
+          it->second != hash_prefix(last.executed.choices, i)) {
+        // This decision state was already reached through a different
+        // prefix; its subtree is a duplicate — don't branch here.
+        ++stats_.pruned_branches;
+        continue;
+      }
+    }
+    if (decisions[i].choice + 1 < decisions[i].width) {
+      ScheduleTrace next;
+      next.choices.assign(last.executed.choices.begin(),
+                          last.executed.choices.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+      next.choices.push_back(decisions[i].choice + 1);
+      return next;
+    }
+  }
+  return std::nullopt;
+}
+
+ScheduleTrace Explorer::minimize(const ScheduleTrace& trace) {
+  // 1. Shortest violating prefix (choices beyond a trace default to 0).
+  ScheduleTrace best = trace;
+  for (std::size_t len = 0; len <= trace.size(); ++len) {
+    ScheduleTrace candidate;
+    candidate.choices.assign(trace.choices.begin(),
+                             trace.choices.begin() +
+                                 static_cast<std::ptrdiff_t>(len));
+    if (run_one(candidate).violated) {
+      best = candidate;
+      break;
+    }
+  }
+  // 2. Greedy zeroing: any choice that can fall back to the default while
+  // still violating is noise.
+  for (std::size_t i = 0; i < best.size(); ++i) {
+    if (best.choices[i] == 0) continue;
+    ScheduleTrace candidate = best;
+    candidate.choices[i] = 0;
+    if (run_one(candidate).violated) best = candidate;
+  }
+  best.strip_trailing_zeros();
+  return best;
+}
+
+Explorer::Result Explorer::explore() {
+  Result result;
+  ScheduleTrace current;
+  Rng rng(options_.seed);
+  while (stats_.schedules < options_.max_schedules) {
+    const bool random = options_.mode == ExplorerOptions::Mode::kRandom;
+    if (random) rng = Rng(options_.seed + stats_.schedules * 0x9e3779b9ull);
+    RunResult run = run_one(current, random ? &rng : nullptr);
+    ++stats_.schedules;
+    stats_.total_steps += run.steps;
+    if (run.crashes > 0) ++stats_.crash_runs;
+    if (run.partitions > 0) ++stats_.partition_runs;
+    if (run.violated) {
+      result.found = true;
+      result.trace = minimize(run.executed);
+      result.report = run_one(result.trace).report;
+      break;
+    }
+    if (random) continue;  // independent walks; the trace stays empty
+    auto next = next_trace(run);
+    if (!next.has_value()) {
+      stats_.exhausted = true;
+      break;
+    }
+    current = std::move(*next);
+  }
+  result.stats = stats_;
+  return result;
+}
+
+}  // namespace corona::check

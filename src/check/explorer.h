@@ -1,0 +1,152 @@
+// corona-check's search engine: systematic exploration of delivery
+// interleavings and fault schedules over a CheckWorld.
+//
+// The ControlledScheduler implements the sim::Scheduler hook.  Most events
+// run in default (time, insertion) order; a *decision point* occurs when the
+// next event is a message arrival and more than one choice is enabled:
+//
+//   * the head arrival of each (from, to) channel — per-channel FIFO is
+//     preserved because the protocol runs over stream transports; picking a
+//     head from a *different* channel reorders deliveries across channels.
+//     (`relax_channel_fifo` lifts this, for demonstrating bugs that need
+//     within-channel reordering.)
+//   * picking an arrival later than the earliest one spends one unit of the
+//     delay budget (delay-bounded search);
+//   * crash / partition injection, while the fault window is open and the
+//     world's fault budgets last (crash-bounded search).
+//
+// Each decision consumes one index from the prescribed trace; beyond the
+// trace's end DFS takes choice 0 (the default event) and the random mode
+// draws from a seeded Rng.  The recorded (choice, width, state-hash)
+// sequence drives iterative-deepening DFS with revisited-state pruning:
+// since worlds are deterministic, re-executing a prefix reproduces the run,
+// so no state copying is ever needed (stateless model checking in the
+// VeriSoft tradition).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/trace.h"
+#include "check/world.h"
+#include "sim/event_queue.h"
+#include "util/rng.h"
+
+namespace corona::check {
+
+struct ExplorerOptions {
+  enum class Mode { kDfs, kRandom };
+  Mode mode = Mode::kDfs;
+
+  // Budget of distinct schedules (full world executions) to explore.
+  std::uint64_t max_schedules = 10000;
+  // Branching decision points per run; later decisions take the default.
+  int max_decisions = 10;
+  // Non-earliest arrival picks allowed per run (delay bound).
+  int delay_budget = 3;
+  // Cap on candidates offered at one decision point.
+  int max_branch = 6;
+  std::uint64_t seed = 1;
+  // Hard per-run event cap (backstop; the world's horizon fence is the
+  // normal terminator).
+  std::uint64_t max_steps = 100000;
+  // Skip branches whose pre-decision state hash was already reached through
+  // a different choice prefix.
+  bool prune_visited = true;
+  // Offer every pending arrival as a candidate instead of only per-channel
+  // heads (used with WorldOptions::seed_ordering_bug).
+  bool relax_channel_fifo = false;
+  // Run the world's full invariant walks every this many events (the
+  // callback oracles are always on; 0 disables the periodic walk).
+  std::uint64_t heavy_check_every = 32;
+};
+
+class ControlledScheduler : public Scheduler {
+ public:
+  struct Decision {
+    std::uint32_t choice = 0;
+    std::uint32_t width = 0;
+    std::uint64_t state_hash = 0;  // world hash before the choice applied
+  };
+
+  // `rng` non-null selects random choices beyond the prescribed prefix
+  // (random-walk mode); null means DFS default (choice 0).  Neither is
+  // owned.
+  ControlledScheduler(CheckWorld& world, const ExplorerOptions& options,
+                      const ScheduleTrace& prescribed, Rng* rng);
+
+  std::uint64_t pick(const std::vector<EventDesc>& enabled) override;
+
+  const std::vector<Decision>& decisions() const { return decisions_; }
+  // The full executed choice sequence (prescribed prefix + extensions).
+  ScheduleTrace executed() const;
+
+ private:
+  CheckWorld& world_;
+  const ExplorerOptions& options_;
+  const ScheduleTrace& prescribed_;
+  Rng* rng_;
+  std::vector<Decision> decisions_;
+  // max(options.max_decisions, prescribed.size()): a replayed trace is
+  // honored in full even when it is longer than the configured depth.
+  std::size_t max_decisions_;
+  int delay_credits_;
+};
+
+struct RunResult {
+  bool violated = false;
+  std::string report;
+  std::uint64_t steps = 0;
+  std::uint64_t deliveries = 0;
+  int crashes = 0;     // fault budget actually spent in this run
+  int partitions = 0;
+  ScheduleTrace executed;
+  std::vector<ControlledScheduler::Decision> decisions;
+};
+
+struct ExploreStats {
+  std::uint64_t schedules = 0;       // distinct schedules executed
+  std::uint64_t total_steps = 0;     // events across all schedules
+  std::uint64_t pruned_branches = 0; // subtrees skipped via state hashing
+  std::uint64_t crash_runs = 0;      // schedules that injected a crash
+  std::uint64_t partition_runs = 0;  // schedules that injected a partition
+  bool exhausted = false;            // DFS enumerated the whole bounded tree
+};
+
+class Explorer {
+ public:
+  Explorer(WorldOptions world_options, ExplorerOptions options);
+
+  struct Result {
+    bool found = false;       // a violation was found (trace is minimized)
+    std::string report;
+    ScheduleTrace trace;
+    ExploreStats stats;
+  };
+
+  // Explores until the schedule budget is spent, the bounded tree is
+  // exhausted, or a violation is found (which is then minimized).
+  Result explore();
+
+  // Executes exactly one schedule.  Deterministic for a given trace when
+  // `rng` is null: this is the replay primitive.
+  RunResult run_one(const ScheduleTrace& prescribed, Rng* rng = nullptr);
+
+  // Shrinks a violating trace: shortest violating prefix, then greedy
+  // zeroing, then trailing-zero strip.  The result still violates.
+  ScheduleTrace minimize(const ScheduleTrace& trace);
+
+ private:
+  std::optional<ScheduleTrace> next_trace(const RunResult& last);
+
+  WorldOptions world_options_;
+  ExplorerOptions options_;
+  // State hash -> hash of the choice prefix that first reached it.
+  std::map<std::uint64_t, std::uint64_t> visited_;
+  ExploreStats stats_;
+};
+
+}  // namespace corona::check

@@ -1,0 +1,44 @@
+#include "check/trace.h"
+
+namespace corona::check {
+
+std::string ScheduleTrace::to_string() const {
+  if (choices.empty()) return "-";
+  std::string out;
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(choices[i]);
+  }
+  return out;
+}
+
+std::optional<ScheduleTrace> ScheduleTrace::parse(const std::string& text) {
+  ScheduleTrace trace;
+  if (text.empty()) return std::nullopt;
+  if (text == "-") return trace;
+  std::uint64_t current = 0;
+  bool have_digit = false;
+  for (const char c : text) {
+    if (c >= '0' && c <= '9') {
+      current = current * 10 + static_cast<std::uint64_t>(c - '0');
+      if (current > UINT32_MAX) return std::nullopt;
+      have_digit = true;
+    } else if (c == ',') {
+      if (!have_digit) return std::nullopt;
+      trace.choices.push_back(static_cast<std::uint32_t>(current));
+      current = 0;
+      have_digit = false;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!have_digit) return std::nullopt;
+  trace.choices.push_back(static_cast<std::uint32_t>(current));
+  return trace;
+}
+
+void ScheduleTrace::strip_trailing_zeros() {
+  while (!choices.empty() && choices.back() == 0) choices.pop_back();
+}
+
+}  // namespace corona::check

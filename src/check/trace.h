@@ -1,0 +1,40 @@
+// Schedule traces — the replayable identity of one explored execution.
+//
+// corona-check's worlds are deterministic functions of a choice sequence:
+// every time the controlled scheduler reaches a branching decision point it
+// consumes (or records) one index into the deterministic candidate list.
+// The whole execution — every delivery order, every injected fault — is
+// therefore reproduced byte-identically by replaying the same sequence, and
+// a violation report ships as this one small vector (docs/ANALYSIS.md,
+// "Schedule exploration").
+//
+// Choices beyond the end of a trace default to 0 (the event the plain
+// simulator would have run), so a trace is a *prefix* of behavior: trailing
+// zeros are redundant and the minimizer strips them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace corona::check {
+
+struct ScheduleTrace {
+  std::vector<std::uint32_t> choices;
+
+  bool empty() const { return choices.empty(); }
+  std::size_t size() const { return choices.size(); }
+
+  // Canonical text form: comma-separated indices ("2,0,1"); "-" when empty.
+  std::string to_string() const;
+  // Parses the canonical form; nullopt on malformed input.
+  static std::optional<ScheduleTrace> parse(const std::string& text);
+
+  // Drops trailing zero choices (they equal the default behavior).
+  void strip_trailing_zeros();
+
+  friend bool operator==(const ScheduleTrace&, const ScheduleTrace&) = default;
+};
+
+}  // namespace corona::check

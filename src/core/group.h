@@ -35,6 +35,7 @@ class Group {
   SharedState& state() { return state_; }
   const SharedState& state() const { return state_; }
   LockTable& locks() { return locks_; }
+  const LockTable& locks() const { return locks_; }
 
   // -- membership ----------------------------------------------------------
   // Returns false if already a member.

@@ -28,7 +28,8 @@ void SimRuntime::start() {
   for (NodeId id : ids) {
     if (!started_.insert(id).second) continue;
     Node* node = nodes_[id];
-    sim_.queue().schedule_after(0, [node] { node->on_start(); });
+    sim_.queue().schedule_after(0, EventTag{EventKind::kStart, id.value, 0},
+                                [node] { node->on_start(); });
   }
 }
 
@@ -45,10 +46,13 @@ void SimRuntime::restart(NodeId id, Node* fresh_node) {
   nodes_[id] = fresh_node;
   fresh_node->bind(this, id);
   const std::uint64_t inc = incarnation_[id];
-  sim_.queue().schedule_after(0, [this, id, inc] {
-    if (incarnation_[id] != inc || network_.is_crashed(id)) return;
-    nodes_[id]->on_start();
-  });
+  sim_.queue().schedule_after(0, EventTag{EventKind::kStart, id.value, 0},
+                              [this, id, inc] {
+                                if (incarnation_[id] != inc ||
+                                    network_.is_crashed(id))
+                                  return;
+                                nodes_[id]->on_start();
+                              });
 }
 
 void SimRuntime::send(NodeId from, NodeId to, const Message& m) {
@@ -75,16 +79,20 @@ void SimRuntime::schedule_arrival(NodeId from, NodeId to, Bytes wire,
   const std::uint64_t inc = incarnation_[to];
   const std::size_t size = wire.size();
   sim_.queue().schedule_at(
-      arrival, [this, from, to, wire = std::move(wire), inc, size] {
+      arrival, EventTag{EventKind::kArrival, from.value, to.value},
+      [this, from, to, wire = std::move(wire), inc, size] {
         if (incarnation_[to] != inc || network_.is_crashed(to)) return;
         const TimePoint deliver_at =
             network_.book_receive(to, size, sim_.now());
-        sim_.queue().schedule_at(deliver_at, [this, from, to, wire, inc] {
-          if (incarnation_[to] != inc || network_.is_crashed(to)) return;
-          auto decoded = Message::decode(wire);
-          assert(decoded.is_ok() && "self-encoded message failed to decode");
-          nodes_[to]->on_message(from, decoded.value());
-        });
+        sim_.queue().schedule_at(
+            deliver_at, EventTag{EventKind::kDeliver, from.value, to.value},
+            [this, from, to, wire, inc] {
+              if (incarnation_[to] != inc || network_.is_crashed(to)) return;
+              auto decoded = Message::decode(wire);
+              assert(decoded.is_ok() &&
+                     "self-encoded message failed to decode");
+              nodes_[to]->on_message(from, decoded.value());
+            });
       });
 }
 
@@ -109,8 +117,9 @@ TimerHandle SimRuntime::set_timer(NodeId owner, Duration delay,
                                   std::uint64_t tag) {
   const TimerHandle handle = next_timer_++;
   const std::uint64_t inc = incarnation_[owner];
-  const EventQueue::EventId ev =
-      sim_.queue().schedule_after(delay, [this, owner, tag, handle, inc] {
+  const EventQueue::EventId ev = sim_.queue().schedule_after(
+      delay, EventTag{EventKind::kTimer, owner.value, tag},
+      [this, owner, tag, handle, inc] {
         timers_.erase(handle);
         if (incarnation_[owner] != inc || network_.is_crashed(owner)) return;
         nodes_[owner]->on_timer(tag);

@@ -4,9 +4,10 @@
 
 namespace corona {
 
-EventQueue::EventId EventQueue::schedule_at(TimePoint at, Callback fn) {
+EventQueue::EventId EventQueue::schedule_at(TimePoint at, EventTag tag,
+                                            Callback fn) {
   const EventId id = next_id_++;
-  heap_.push(Entry{std::max(at, now_), id, std::move(fn)});
+  heap_.push(Entry{std::max(at, now_), id, tag, std::move(fn)});
   ++live_count_;
   return id;
 }
@@ -17,6 +18,10 @@ bool EventQueue::is_cancelled(EventId id) const {
 }
 
 bool EventQueue::run_next() {
+  return scheduler_ ? run_next_scheduled() : run_next_in_order();
+}
+
+bool EventQueue::run_next_in_order() {
   while (!heap_.empty()) {
     // priority_queue::top is const; move out via const_cast-free copy of the
     // callback only when we actually run it.
@@ -35,6 +40,77 @@ bool EventQueue::run_next() {
     return true;
   }
   return false;
+}
+
+bool EventQueue::run_next_scheduled() {
+  // Drain the heap, retiring cancelled entries along the way, so the
+  // scheduler sees every live event at once.
+  std::vector<Entry> live;
+  while (!heap_.empty()) {
+    Entry e = heap_.top();
+    heap_.pop();
+    if (is_cancelled(e.id)) {
+      cancelled_.erase(std::find(cancelled_.begin(), cancelled_.end(), e.id));
+      --live_count_;
+      continue;
+    }
+    live.push_back(std::move(e));
+  }
+  if (live.empty()) return false;
+
+  std::sort(live.begin(), live.end(), [](const Entry& a, const Entry& b) {
+    return a.at != b.at ? a.at < b.at : a.id < b.id;
+  });
+  std::vector<EventDesc> descs;
+  descs.reserve(live.size());
+  for (const Entry& e : live) descs.push_back(EventDesc{e.id, e.at, e.tag});
+
+  const EventId chosen = scheduler_->pick(descs);
+  std::size_t idx = live.size();
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    if (live[i].id == chosen) {
+      idx = i;
+      break;
+    }
+  }
+  CORONA_INVARIANT(idx < live.size(),
+                   "EventQueue: scheduler picked an id that is not enabled");
+  if (idx >= live.size()) idx = 0;  // release-build fallback: default order
+
+  Entry e = std::move(live[idx]);
+  live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+
+  // pick() may have scheduled new events (fault injection does); they landed
+  // on the just-drained heap clamped to the pre-jump now_.  Pull them out so
+  // they get re-clamped alongside the bypassed ones.
+  while (!heap_.empty()) {
+    live.push_back(heap_.top());
+    heap_.pop();
+  }
+
+  // Virtual time advances to the chosen event.  Everything the scheduler
+  // bypassed is clamped forward to the new now_: picking a later event
+  // *delays* the earlier ones, and time still never runs backwards.
+  now_ = std::max(now_, e.at);
+  for (Entry& r : live) {
+    r.at = std::max(r.at, now_);
+    heap_.push(std::move(r));
+  }
+  --live_count_;
+  e.fn();
+  return true;
+}
+
+std::vector<EventDesc> EventQueue::pending_events() const {
+  std::vector<EventDesc> out;
+  auto heap = heap_;  // walk by draining a copy; heap_ itself is untouched
+  while (!heap.empty()) {
+    const Entry& e = heap.top();
+    if (!is_cancelled(e.id)) out.push_back(EventDesc{e.id, e.at, e.tag});
+    heap.pop();
+  }
+  // The drain above already yields ascending (at, id) order.
+  return out;
 }
 
 InvariantReport EventQueue::check_invariants() const {

@@ -3,6 +3,19 @@
 // Events fire in (time, insertion-order) order, so two events scheduled for
 // the same instant run in the order they were scheduled — this makes every
 // simulation bit-reproducible regardless of container iteration quirks.
+// (The comparator below implements exactly that tie-break; see the
+// "SameTimestampEventsPopInInsertionOrder" test, which corona-check's state
+// hashing relies on.)
+//
+// Schedule exploration (src/check/): a pluggable Scheduler can take over the
+// pop order.  Each event may carry an EventTag describing what it is (a
+// message arrival, a timer, a node start); before every step the queue hands
+// the scheduler every live event, and the scheduler picks which one runs
+// next.  Virtual time then advances to the chosen event's timestamp and all
+// remaining events are clamped forward so time still never runs backwards —
+// picking a later event *delays* the earlier ones, which is how corona-check
+// injects delivery reorderings.  Without a scheduler installed nothing
+// changes: the default (time, insertion-order) pop order is untouched.
 #pragma once
 
 #include <cstdint>
@@ -15,25 +28,76 @@
 
 namespace corona {
 
+// What a queued event represents, for external schedule controllers.  The
+// engine (SimRuntime) tags the events it schedules; untagged events are
+// kInternal and are never reordered decision points.
+enum class EventKind : std::uint8_t {
+  kInternal = 0,  // fences, harness bookkeeping, workload scripts
+  kStart = 1,     // Node::on_start (initial start or post-restart)
+  kArrival = 2,   // stage-1 message arrival at the destination host
+  kDeliver = 3,   // stage-2 processed delivery (Node::on_message)
+  kTimer = 4,     // Node::on_timer
+};
+
+struct EventTag {
+  EventKind kind = EventKind::kInternal;
+  std::uint64_t a = 0;  // kArrival/kDeliver: from; kStart/kTimer: owner
+  std::uint64_t b = 0;  // kArrival/kDeliver: to; kTimer: the timer tag
+};
+
+// Descriptor of one live queued event, exposed to a Scheduler.
+struct EventDesc {
+  std::uint64_t id = 0;  // EventQueue::EventId
+  TimePoint at = 0;
+  EventTag tag;
+};
+
+// Schedule controller: chooses which live event runs next.  `enabled` is
+// every live (non-cancelled) queued event in ascending (at, id) order, so
+// enabled.front() is what the default policy would run.  pick() must return
+// the id of one of them.  It may schedule *new* events on the queue (fault
+// injection uses this for restarts) but must not cancel queued ones.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual std::uint64_t pick(const std::vector<EventDesc>& enabled) = 0;
+};
+
 class EventQueue {
  public:
   using Callback = std::function<void()>;
   using EventId = std::uint64_t;
 
   // Schedules `fn` at absolute virtual time `at` (clamped to now).
-  EventId schedule_at(TimePoint at, Callback fn);
+  EventId schedule_at(TimePoint at, Callback fn) {
+    return schedule_at(at, EventTag{}, std::move(fn));
+  }
+  EventId schedule_at(TimePoint at, EventTag tag, Callback fn);
   EventId schedule_after(Duration delay, Callback fn) {
     return schedule_at(now_ + delay, std::move(fn));
+  }
+  EventId schedule_after(Duration delay, EventTag tag, Callback fn) {
+    return schedule_at(now_ + delay, tag, std::move(fn));
   }
 
   // Cancellation is lazy: the event stays queued but won't run.
   void cancel(EventId id) { cancelled_.push_back(id); }
 
+  // Installs (or clears, with nullptr) an external schedule controller.
+  // The queue does not own the scheduler.
+  void set_scheduler(Scheduler* scheduler) { scheduler_ = scheduler; }
+  Scheduler* scheduler() const { return scheduler_; }
+
   TimePoint now() const { return now_; }
   bool empty() const { return live_count_ == 0; }
   std::size_t pending() const { return live_count_; }
 
-  // Runs the next live event; returns false if none remain.
+  // Every live queued event in ascending (at, id) order — what a Scheduler
+  // would be offered next.  O(n log n); meant for controllers and tests.
+  std::vector<EventDesc> pending_events() const;
+
+  // Runs the next live event; returns false if none remain.  With a
+  // scheduler installed, the scheduler picks which live event runs.
   bool run_next();
 
   // Structural invariants: virtual time never runs backwards (every queued
@@ -49,19 +113,25 @@ class EventQueue {
   struct Entry {
     TimePoint at;
     EventId id;
+    EventTag tag;
     Callback fn;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.at != b.at) return a.at > b.at;
+      // Same instant: the lower (earlier-assigned) id pops first, so
+      // same-timestamp events run in insertion order.
       return a.id > b.id;
     }
   };
 
   bool is_cancelled(EventId id) const;
+  bool run_next_in_order();
+  bool run_next_scheduled();
 
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   std::vector<EventId> cancelled_;
+  Scheduler* scheduler_ = nullptr;
   TimePoint now_ = 0;
   EventId next_id_ = 1;
   std::size_t live_count_ = 0;

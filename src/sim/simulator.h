@@ -14,6 +14,10 @@ class Simulator {
   EventQueue& queue() { return queue_; }
   TimePoint now() const { return queue_.now(); }
 
+  // Installs (or clears, with nullptr) a schedule controller on the queue;
+  // see Scheduler in sim/event_queue.h.  Not owned.
+  void set_scheduler(Scheduler* scheduler) { queue_.set_scheduler(scheduler); }
+
   // Runs events until the queue drains or `max_events` fire.
   // Returns the number of events executed.
   std::uint64_t run_until_idle(

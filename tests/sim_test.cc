@@ -66,6 +66,108 @@ TEST(EventQueue, EventsCanScheduleEvents) {
   EXPECT_EQ(q.now(), 40);
 }
 
+// The tie-break audit corona-check's determinism rests on: events that share
+// a timestamp pop in the order they were *scheduled*, even when scheduling
+// interleaves with popping and with lazy cancellation.  (event_queue.h
+// documents this contract next to the comparator.)
+TEST(EventQueue, SameTimestampEventsPopInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(100, [&] { order.push_back(0); });
+  const auto doomed = q.schedule_at(100, [&] { order.push_back(99); });
+  q.schedule_at(100, [&] {
+    order.push_back(1);
+    // Scheduled mid-drain at the *same* instant: must still run after every
+    // earlier-scheduled event at t=100.
+    q.schedule_at(100, [&] { order.push_back(3); });
+  });
+  q.schedule_at(100, [&] { order.push_back(2); });
+  q.cancel(doomed);
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(q.now(), 100);
+  EXPECT_TRUE(q.check_invariants().ok());
+}
+
+TEST(EventQueue, PendingEventsAreAscendingAndSkipCancelled) {
+  EventQueue q;
+  q.schedule_at(30, EventTag{EventKind::kTimer, 7, 1}, [] {});
+  const auto dead = q.schedule_at(10, [] {});
+  q.schedule_at(20, EventTag{EventKind::kArrival, 1, 2}, [] {});
+  q.cancel(dead);
+  const auto pending = q.pending_events();
+  ASSERT_EQ(pending.size(), 2u);
+  EXPECT_EQ(pending[0].at, 20);
+  EXPECT_EQ(pending[0].tag.kind, EventKind::kArrival);
+  EXPECT_EQ(pending[0].tag.a, 1u);
+  EXPECT_EQ(pending[0].tag.b, 2u);
+  EXPECT_EQ(pending[1].at, 30);
+  EXPECT_EQ(pending[1].tag.kind, EventKind::kTimer);
+}
+
+namespace {
+// Picks the event the default policy would run *last*.
+struct PickLast : Scheduler {
+  std::uint64_t pick(const std::vector<EventDesc>& enabled) override {
+    return enabled.back().id;
+  }
+};
+}  // namespace
+
+TEST(EventQueue, SchedulerControlsPopOrderAndClampsTime) {
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<TimePoint> times;
+  for (int i = 0; i < 3; ++i) {
+    q.schedule_at(10 * (i + 1), [&, i] {
+      order.push_back(i);
+      times.push_back(q.now());
+    });
+  }
+  PickLast last;
+  q.set_scheduler(&last);
+  while (q.run_next()) {
+  }
+  // The scheduler reversed the pop order; bypassed events were clamped
+  // forward to the chosen event's time, so virtual time never ran backwards.
+  EXPECT_EQ(order, (std::vector<int>{2, 1, 0}));
+  EXPECT_EQ(times, (std::vector<TimePoint>{30, 30, 30}));
+  EXPECT_TRUE(q.check_invariants().ok());
+}
+
+namespace {
+// Picks the front (default policy) but injects one extra event on the first
+// decision — the shape fault injection uses.
+struct InjectOnce : Scheduler {
+  EventQueue* queue = nullptr;
+  std::vector<int>* order = nullptr;
+  bool injected = false;
+  std::uint64_t pick(const std::vector<EventDesc>& enabled) override {
+    if (!injected) {
+      injected = true;
+      queue->schedule_at(15, [this] { order->push_back(42); });
+    }
+    return enabled.front().id;
+  }
+};
+}  // namespace
+
+TEST(EventQueue, SchedulerMayScheduleNewEventsDuringPick) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  InjectOnce inject;
+  inject.queue = &q;
+  inject.order = &order;
+  q.set_scheduler(&inject);
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 42, 2}));
+  EXPECT_TRUE(q.check_invariants().ok());
+}
+
 TEST(Simulator, RunUntilStopsAtDeadline) {
   Simulator sim;
   int fired = 0;

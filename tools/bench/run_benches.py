@@ -8,6 +8,15 @@ name.  Exit status is non-zero if any bench fails to run or emits no JSON.
 
 Usage:
     tools/bench/run_benches.py [--build-dir build] [--out BENCH_socket_baseline.json]
+    tools/bench/run_benches.py --compare BENCH_socket_baseline.json
+
+With --compare the freshly-measured metrics are checked against a recorded
+baseline and the run fails (exit 1) if any direction-known metric regressed
+by more than --threshold percent (default 25).  Metric direction is inferred
+from the key: *_ms / *_pct / *slope* are lower-is-better, *per_sec* is
+higher-is-better, anything else is reported informationally and never
+fails the run.  The baseline file is left untouched in compare mode unless
+--out names a different path.
 """
 
 import argparse
@@ -64,6 +73,55 @@ def run_bench(binary: str, timeout_s: int) -> dict:
             pass
 
 
+def metric_direction(key: str) -> str | None:
+    """'lower' / 'higher' when the key names a known-direction metric."""
+    if "per_sec" in key:
+        return "higher"
+    if key.endswith("_ms") or "_ms" in key or "_pct" in key or "slope" in key:
+        return "lower"
+    return None
+
+
+def compare_metrics(baseline: dict, fresh: dict, threshold_pct: float) -> int:
+    """Prints a per-metric comparison; returns the regression count."""
+    regressions = 0
+    for bench in sorted(set(baseline) | set(fresh)):
+        if bench not in baseline or bench not in fresh:
+            side = "baseline" if bench in baseline else "fresh run"
+            print(f"[compare] {bench}: only in {side} — skipped")
+            continue
+        old_metrics, new_metrics = baseline[bench], fresh[bench]
+        for key in sorted(set(old_metrics) | set(new_metrics)):
+            if key not in old_metrics or key not in new_metrics:
+                print(f"[compare] {bench}.{key}: metric "
+                      f"{'removed' if key not in new_metrics else 'added'} — "
+                      "informational")
+                continue
+            old, new = old_metrics[key], new_metrics[key]
+            if not isinstance(old, (int, float)) or not isinstance(new, (int, float)):
+                continue
+            direction = metric_direction(key)
+            if direction is None or abs(old) < 1e-9:
+                continue
+            delta_pct = (new - old) / abs(old) * 100.0
+            regressed = (
+                delta_pct > threshold_pct
+                if direction == "lower"
+                else -delta_pct > threshold_pct
+            )
+            if regressed:
+                regressions += 1
+                print(f"[compare] REGRESSION {bench}.{key}: "
+                      f"{old:g} -> {new:g} ({delta_pct:+.1f}%, "
+                      f"{direction}-is-better, threshold {threshold_pct:g}%)")
+            elif abs(delta_pct) > threshold_pct:
+                # Large move in the *good* direction: worth a line, not a
+                # failure (often a machine/load artifact).
+                print(f"[compare] improved   {bench}.{key}: "
+                      f"{old:g} -> {new:g} ({delta_pct:+.1f}%)")
+    return regressions
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -82,7 +140,24 @@ def main() -> int:
         default=1800,
         help="per-bench timeout in seconds (default: 1800)",
     )
+    parser.add_argument(
+        "--compare",
+        metavar="BASELINE_JSON",
+        help="compare fresh metrics against this recorded baseline and fail "
+        "on regressions instead of (re)writing it",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=25.0,
+        help="regression threshold in percent for --compare (default: 25)",
+    )
     args = parser.parse_args()
+
+    baseline = None
+    if args.compare:
+        with open(args.compare, "r", encoding="utf-8") as f:
+            baseline = json.load(f)
 
     merged = {}
     for name in BENCHES:
@@ -95,6 +170,23 @@ def main() -> int:
             raise RuntimeError(f"{name} emitted an empty metrics object")
         merged[bench_key] = metrics
         print(f"[run_benches]   {len(metrics)} metrics", flush=True)
+
+    if baseline is not None:
+        regressions = compare_metrics(baseline, merged, args.threshold)
+        # Don't clobber the baseline we just compared against; an explicit
+        # different --out still records the fresh numbers.
+        if os.path.abspath(args.out) != os.path.abspath(args.compare):
+            with open(args.out, "w", encoding="utf-8") as f:
+                json.dump(merged, f, indent=2, sort_keys=True)
+                f.write("\n")
+            print(f"[run_benches] wrote {args.out} ({len(merged)} benches)")
+        if regressions:
+            print(f"[run_benches] FAIL: {regressions} metric(s) regressed "
+                  f"beyond {args.threshold:g}%")
+            return 1
+        print(f"[run_benches] compare OK: no metric regressed beyond "
+              f"{args.threshold:g}%")
+        return 0
 
     with open(args.out, "w", encoding="utf-8") as f:
         json.dump(merged, f, indent=2, sort_keys=True)

@@ -23,16 +23,25 @@ Rules (see docs/ANALYSIS.md for the full contract):
                  deterministic.
 
   unordered-container
-                 src/core, src/replica, src/sim, src/net
+                 src/core, src/replica, src/sim, src/net, src/check
                  No std::unordered_map/set declarations: iteration order is
                  nondeterministic and *someone* eventually iterates.  Use
                  std::map/std::set, or waive lookup-only uses.
 
   unordered-iteration
-                 src/core, src/replica, src/sim, src/net
+                 src/core, src/replica, src/sim, src/net, src/check
                  No range-for / .begin() iteration over an identifier that
                  was declared anywhere in the scanned tree as an unordered
                  container (catches members declared in headers elsewhere).
+
+  erase-in-range-for
+                 src/core, src/replica, src/sim, src/net, src/check
+                 No `c.erase(...)` inside a range-for over `c`: erasing
+                 invalidates the iterators driving the loop (undefined
+                 behaviour that often *passes* tests).  Collect victims and
+                 erase after the loop, or use an explicit iterator loop with
+                 the erase() return value.  Waive with `erase-ok` only when
+                 the loop provably exits right after (e.g. erase+break).
 
   raw-thread     src/** except src/runtime and src/net
                  No std::thread/std::jthread/std::mutex/std::shared_mutex/
@@ -134,7 +143,7 @@ RULES = [
     Rule(
         "unordered-container",
         "unordered",
-        in_dirs("core/", "replica/", "sim/", "net/"),
+        in_dirs("core/", "replica/", "sim/", "net/", "check/"),
         re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b"),
         "unordered container in determinism-critical code; iteration order "
         "is nondeterministic — use std::map/std::set (or waive a proven "
@@ -168,6 +177,11 @@ UNORDERED_DECL_RE = re.compile(
 )
 RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;)]*:\s*(?:this->)?(\w+)\s*\)")
 BEGIN_CALL_RE = re.compile(r"\b(\w+)\s*\.\s*c?r?begin\s*\(")
+ERASE_CALL_RE = re.compile(r"\b(\w+)\s*\.\s*erase\s*\(")
+
+# Directories under the full determinism contract (unordered-* and
+# erase-in-range-for); the remaining rules carry their own scopes above.
+STRICT_SCOPE = in_dirs("core/", "replica/", "sim/", "net/", "check/")
 
 
 def strip_strings(code: str) -> str:
@@ -302,7 +316,13 @@ def lint_file(path: str,
     whole_file_waivers = file_waivers(text)
     pair_unordered = unordered_names.get(file_stem(path), set())
     prev_waivers: set[str] = set()
-    iteration_scoped = in_dirs("core/", "replica/", "sim/", "net/")(rel)
+    iteration_scoped = STRICT_SCOPE(rel)
+    # erase-in-range-for bookkeeping: which containers are currently driving
+    # an enclosing range-for, tracked by brace depth.  `pending_for` holds a
+    # loop whose body brace (or braceless statement) hasn't started yet.
+    brace_depth = 0
+    range_for_stack: list[tuple[str, int]] = []  # (ident, body depth)
+    pending_for: str | None = None
     for lineno, raw, code in logical_lines(text):
         active_waivers = waivers_on(raw) | prev_waivers | whole_file_waivers
         # A waiver-only line waives the NEXT line; a code line's waiver
@@ -334,6 +354,55 @@ def lint_file(path: str,
                         "use std::map/std::set or copy-and-sort first",
                     )
                 )
+
+        if iteration_scoped:
+            fors = list(RANGE_FOR_RE.finditer(code))
+            if "erase" not in active_waivers:
+                active = {ident for ident, _ in range_for_stack}
+                if pending_for is not None:
+                    active.add(pending_for)
+                for em in ERASE_CALL_RE.finditer(code):
+                    ident = em.group(1)
+                    enclosing = ident in active or any(
+                        fm.group(1) == ident and fm.end() <= em.start()
+                        for fm in fors
+                    )
+                    if enclosing:
+                        out.append(
+                            Violation(
+                                path,
+                                lineno,
+                                "erase-in-range-for",
+                                f"'{ident}.erase(...)' inside a range-for "
+                                f"over '{ident}'; erasing invalidates the "
+                                "loop's iterators — collect victims and "
+                                "erase after the loop, or use an iterator "
+                                "loop with the erase() return value",
+                            )
+                        )
+            # Advance the loop tracker: a range-for becomes pending at its
+            # header's end, binds to the next '{' (its body), and a pending
+            # braceless body ends at the next ';'.
+            fi = 0
+            for pos, ch in enumerate(code):
+                while fi < len(fors) and fors[fi].end() <= pos:
+                    pending_for = fors[fi].group(1)
+                    fi += 1
+                if ch == "{":
+                    brace_depth += 1
+                    if pending_for is not None:
+                        range_for_stack.append((pending_for, brace_depth))
+                        pending_for = None
+                elif ch == "}":
+                    brace_depth -= 1
+                    while range_for_stack and \
+                            range_for_stack[-1][1] > brace_depth:
+                        range_for_stack.pop()
+                elif ch == ";" and pending_for is not None:
+                    pending_for = None
+            while fi < len(fors):
+                pending_for = fors[fi].group(1)
+                fi += 1
     return out
 
 

@@ -55,6 +55,8 @@ class FixtureTree(unittest.TestCase):
             ("src/net/bad_net.cc", 9, "unordered-container"),
             ("src/net/bad_net.cc", 12, "raw-random"),
             ("src/net/bad_net.cc", 17, "unordered-iteration"),
+            ("src/core/bad_erase.cc", 12, "erase-in-range-for"),
+            ("src/core/bad_erase.cc", 18, "erase-in-range-for"),
         }
         self.assertEqual(keyed(lint(FIXTURES)), expected)
 
@@ -71,6 +73,12 @@ class FixtureTree(unittest.TestCase):
         rules = sorted(v.rule for v in lint(path))
         self.assertEqual(
             rules, ["raw-random", "unordered-container", "unordered-iteration"])
+
+    def test_erase_fixture_flags_only_the_bad_loops(self):
+        path = os.path.join(FIXTURES, "src", "core", "bad_erase.cc")
+        found = sorted((v.line, v.rule) for v in lint(path))
+        self.assertEqual(found, [(12, "erase-in-range-for"),
+                                 (18, "erase-in-range-for")])
 
     def test_file_waiver_covers_whole_file(self):
         path = os.path.join(FIXTURES, "src", "core", "clean_waived.cc")
@@ -124,6 +132,29 @@ class Mechanics(unittest.TestCase):
         self.assertEqual(corona_lint.waivers_on("// lint-file: clock-ok"), set())
         self.assertEqual(corona_lint.file_waivers("// lint-file: clock-ok"),
                          {"clock"})
+
+    def test_erase_tracking_respects_nesting_and_scope(self):
+        import tempfile
+        src = (
+            "void f(std::map<int, int>& outer, std::vector<int>& inner) {\n"
+            "  for (auto& [k, v] : outer) {\n"
+            "    for (int x : inner) {\n"
+            "      outer.erase(k);\n"   # line 4: outer loop still encloses
+            "    }\n"
+            "  }\n"
+            "  for (int x : inner) {\n"
+            "  }\n"
+            "  outer.erase(1);\n"       # line 9: no enclosing loop — clean
+            "}\n"
+        )
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "src", "core")
+            os.makedirs(path)
+            fpath = os.path.join(path, "t.cc")
+            with open(fpath, "w") as f:
+                f.write(src)
+            found = [(v.line, v.rule) for v in lint(fpath)]
+        self.assertEqual(found, [(4, "erase-in-range-for")])
 
     def test_declared_identifier_skips_nested_templates(self):
         code = "std::unordered_map<int, std::pair<int, int>> table_;"
