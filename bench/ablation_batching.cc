@@ -1,0 +1,137 @@
+// Ablation: batched multicast fan-out & group-commit logging.
+//
+// The Table 1 workload (6 blasting clients, 1000-byte multicasts, UltraSparc
+// server) under increasing batch sizes, on two media:
+//
+//   * the paper's 10 Mbps shared Ethernet — the wire is the bottleneck
+//     (§5.2.2: "the limitation was in the network capacity"), so batching
+//     can only recover the per-message CPU share and the gain is modest;
+//   * a switched/ideal network (shared-medium model off) — the server CPU
+//     is the bottleneck, and amortizing the per-send fixed cost across a
+//     coalesced frame shows the full batching headroom.
+//
+// The headline metric is the switched-medium speedup of batch 64 over
+// batch 1; the batch-1 rows must match the unbatched Table 1 numbers (the
+// degenerate path is the old path).
+#include <iostream>
+
+#include "bench/scenario.h"
+
+using namespace corona;
+using namespace corona::bench;
+
+namespace {
+
+// The delay bound must exceed the batch-fill time (~batch / arrival rate,
+// a few hundred ms at these rates) or the timer chops the queue into
+// sub-threshold drains and the fan-out never coalesces.  On a blast
+// workload the threshold is the operative knob; the timer is only the
+// idle-tail safety valve.
+constexpr Duration kDelayBound = 500 * kMillisecond;
+
+ThroughputResult run(std::size_t batch, std::size_t window,
+                     double shared_bandwidth) {
+  ThroughputConfig cfg;
+  cfg.server_profile = HostProfile::ultrasparc();
+  cfg.clients = 6;
+  cfg.message_bytes = 1000;
+  cfg.window = window;
+  cfg.shared_bandwidth_bytes_per_sec = shared_bandwidth;
+  cfg.batch_max_msgs = batch;
+  cfg.batch_max_delay = kDelayBound;
+  return run_single_server_throughput(cfg);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_banner("Ablation — batched fan-out vs batch size",
+               "Table 1 workload + §5.2.2 wire-bound ceiling");
+  JsonReport report("ablation_batching");
+
+  // Switched medium, deep client windows: the CPU-bound regime where
+  // batching pays.  6 clients x window 32 = 192 multicasts in flight, so a
+  // 64-batch actually fills.
+  std::cout << "\n--- switched network (CPU-bound), window 32 ---\n";
+  TextTable sw({"batch", "msg/s", "KB/s", "p50 ms", "p99 ms", "batch frames"});
+  double base_msgs = 0, best_msgs = 0;
+  for (std::size_t batch : {1u, 4u, 8u, 16u, 64u}) {
+    const auto r = run(batch, /*window=*/32, /*shared_bandwidth=*/0);
+    if (batch == 1) base_msgs = r.messages_per_sec;
+    if (batch == 64) best_msgs = r.messages_per_sec;
+    sw.add_row({std::to_string(batch), TextTable::fmt(r.messages_per_sec),
+                TextTable::fmt(r.delivered_kbytes_per_sec),
+                TextTable::fmt(r.latency_ms.percentile(50), 2),
+                TextTable::fmt(r.latency_ms.percentile(99), 2),
+                std::to_string(r.batch_frames_sent)});
+    const std::string prefix = "switched.batch_" + std::to_string(batch) + ".";
+    report.add(prefix + "messages_per_sec", r.messages_per_sec);
+    report.add(prefix + "kbytes_per_sec", r.delivered_kbytes_per_sec);
+    report.add(prefix + "p50_ms", r.latency_ms.percentile(50));
+    report.add(prefix + "p99_ms", r.latency_ms.percentile(99));
+  }
+  std::cout << sw.to_string();
+  const double speedup = best_msgs / base_msgs;
+  std::cout << "\nSpeedup batch 64 vs 1 (switched): "
+            << TextTable::fmt(speedup, 2) << "x\n";
+  report.add("speedup_batch64_vs_1", speedup);
+
+  // The paper's shared 10 Mbps Ethernet, same deep windows: the wire
+  // serializes every byte regardless of framing, so batching only trims the
+  // CPU share and the curve flattens into the §5.2.2 ceiling.
+  std::cout << "\n--- 10 Mbps shared Ethernet (wire-bound), window 32 ---\n";
+  TextTable eth({"batch", "msg/s", "KB/s", "p50 ms", "p99 ms"});
+  double eth_base = 0, eth_best = 0;
+  for (std::size_t batch : {1u, 8u, 64u}) {
+    const auto r = run(batch, /*window=*/32, /*shared_bandwidth=*/1.25e6);
+    if (batch == 1) eth_base = r.messages_per_sec;
+    if (batch == 64) eth_best = r.messages_per_sec;
+    eth.add_row({std::to_string(batch), TextTable::fmt(r.messages_per_sec),
+                 TextTable::fmt(r.delivered_kbytes_per_sec),
+                 TextTable::fmt(r.latency_ms.percentile(50), 2),
+                 TextTable::fmt(r.latency_ms.percentile(99), 2)});
+    const std::string prefix = "ethernet.batch_" + std::to_string(batch) + ".";
+    report.add(prefix + "messages_per_sec", r.messages_per_sec);
+    report.add(prefix + "kbytes_per_sec", r.delivered_kbytes_per_sec);
+  }
+  std::cout << eth.to_string();
+  report.add("ethernet_speedup_batch64_vs_1", eth_best / eth_base);
+
+  // Group commit under synchronous flushing: one device write per drain
+  // instead of one per multicast recovers most of the sync-logging tax.
+  std::cout << "\n--- group commit (sync flush, switched, window 32) ---\n";
+  TextTable gc({"batch", "msg/s", "flushes", "records/commit"});
+  for (std::size_t batch : {1u, 16u, 64u}) {
+    ThroughputConfig cfg;
+    cfg.server_profile = HostProfile::ultrasparc();
+    cfg.window = 32;
+    cfg.shared_bandwidth_bytes_per_sec = 0;
+    cfg.flush = FlushPolicy::kSync;
+    cfg.batch_max_msgs = batch;
+    cfg.batch_max_delay = kDelayBound;
+    const auto r = run_single_server_throughput(cfg);
+    // Single-record flushes commit 1 record each; group commits report
+    // their covered record counts directly.
+    const double per_commit =
+        r.flushes > 0
+            ? static_cast<double>(r.group_commit_records +
+                                  (r.flushes - r.group_commits)) /
+                  static_cast<double>(r.flushes)
+            : 0;
+    gc.add_row({std::to_string(batch), TextTable::fmt(r.messages_per_sec),
+                std::to_string(r.flushes), TextTable::fmt(per_commit, 1)});
+    report.add("group_commit.batch_" + std::to_string(batch) +
+                   ".messages_per_sec",
+               r.messages_per_sec);
+  }
+  std::cout << gc.to_string();
+  std::cout << "\nShape: on the shared wire batching flattens into the\n"
+               "network-capacity ceiling (Table 1's regime); on a switched\n"
+               "network it amortizes the per-send CPU cost for the 2x+\n"
+               "headroom, and group commit does the same for the log device.\n";
+
+  if (const std::string path = json_output_path(argc, argv); !path.empty()) {
+    if (!report.write(path)) return 1;
+  }
+  return 0;
+}

@@ -157,28 +157,51 @@ ThroughputResult run_single_server_throughput(const ThroughputConfig& cfg) {
 
   GroupStore store;
   ServerConfig scfg;
+  scfg.flush = cfg.flush;
+  scfg.batch_max_msgs = cfg.batch_max_msgs;
+  scfg.batch_max_delay = cfg.batch_max_delay;
   CoronaServer server(scfg, &store);
   rt.add_node(server_node(0), &server, server_host);
   rt.set_disk(server_node(0), DiskProfile::nineties_disk());
 
   // Closed-loop blasting clients: each keeps `window` multicasts in flight,
-  // sending a new one whenever one of its own comes back.
+  // sending a new one whenever one of its own comes back.  Each sender
+  // samples the send -> own-delivery latency of every multicast.
   struct Blaster {
     std::unique_ptr<CoronaClient> client;
     std::size_t bytes;
-    void pump() { client->bcast_update(kGroup, kObject, filler_bytes(bytes)); }
+    SimRuntime* rt;
+    LatencyStats* latency;
+    std::map<RequestId, TimePoint> in_flight;
+    void pump() {
+      const RequestId rid =
+          client->bcast_update(kGroup, kObject, filler_bytes(bytes));
+      in_flight[rid] = rt->now();
+    }
+    void sample(RequestId rid) {
+      auto it = in_flight.find(rid);
+      if (it == in_flight.end()) return;
+      latency->add(to_ms(rt->now() - it->second));
+      in_flight.erase(it);
+    }
   };
   std::vector<std::unique_ptr<Blaster>> blasters;
   ThroughputMeter delivered;
+  LatencyStats latency;
   for (std::size_t i = 0; i < cfg.clients; ++i) {
     auto b = std::make_unique<Blaster>();
     Blaster* bp = b.get();
     b->bytes = cfg.message_bytes;
+    b->rt = &rt;
+    b->latency = &latency;
     CoronaClient::Callbacks cb;
     const NodeId self = client_node(i);
     cb.on_deliver = [bp, self, &delivered](GroupId, const UpdateRecord& rec) {
       delivered.on_delivery(rec.data.size());
-      if (rec.sender == self) bp->pump();
+      if (rec.sender == self) {
+        bp->sample(rec.request_id);
+        bp->pump();
+      }
     };
     b->client = std::make_unique<CoronaClient>(server_node(0), cb);
     rt.add_node(self, b->client.get(),
@@ -214,6 +237,11 @@ ThroughputResult run_single_server_throughput(const ThroughputConfig& cfg) {
       1000.0 / secs;
   out.delivered_kbytes_per_sec = delivered.kbytes_per_sec();
   out.messages_per_sec = static_cast<double>(sequenced) / secs;
+  out.latency_ms = latency;
+  out.batch_frames_sent = server.stats().batch_frames_sent;
+  out.group_commits = server.stats().group_commits;
+  out.group_commit_records = server.stats().group_commit_records;
+  out.flushes = server.stats().flushes;
   return out;
 }
 
@@ -229,6 +257,8 @@ RoundTripResult run_replicated_roundtrip(const ReplicatedConfig& cfg) {
   std::vector<HostId> server_hosts;
   std::vector<std::unique_ptr<ReplicaServer>> servers;
   ReplicaConfig rcfg;
+  rcfg.batch_max_msgs = cfg.batch_max_msgs;
+  rcfg.batch_max_delay = cfg.batch_max_delay;
   for (std::size_t i = 0; i < cfg.servers; ++i) {
     server_hosts.push_back(rt.network().add_host(HostProfile::ultrasparc()));
     servers.push_back(std::make_unique<ReplicaServer>(rcfg, server_ids));

@@ -61,12 +61,21 @@ struct ThroughputConfig {
   std::size_t window = 4;  // in-flight multicasts per client ("as fast as possible")
   Duration run_time = 30 * kSecond;
   double shared_bandwidth_bytes_per_sec = 1.25e6;  // 10 Mbps Ethernet
+  FlushPolicy flush = FlushPolicy::kAsync;
+  // Batched fan-out & group commit (ServerConfig knobs); 1 = per-message.
+  std::size_t batch_max_msgs = 1;
+  Duration batch_max_delay = 0;
 };
 
 struct ThroughputResult {
   double aggregate_kbytes_per_sec = 0;  // bytes accepted by the sequencer
   double delivered_kbytes_per_sec = 0;  // bytes fanned out to receivers
   double messages_per_sec = 0;
+  LatencyStats latency_ms;  // send -> own delivery, sampled on every sender
+  std::uint64_t batch_frames_sent = 0;  // coalesced (>1 msg) client frames
+  std::uint64_t group_commits = 0;
+  std::uint64_t group_commit_records = 0;
+  std::uint64_t flushes = 0;
 };
 
 // Table 1: blasting clients, measuring sustained server throughput.
@@ -85,6 +94,9 @@ struct ReplicatedConfig {
   double shared_bandwidth_bytes_per_sec = 0;
   Duration inter_server_latency = 200;   // us, servers co-located
   Duration client_latency = 800;         // us, a few routers away
+  // Batched fan-out at coordinator and leaves; 1 = per-message.
+  std::size_t batch_max_msgs = 1;
+  Duration batch_max_delay = 0;
 };
 
 // Table 2: round-trip delay, single server vs replicated service.

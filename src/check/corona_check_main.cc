@@ -42,6 +42,12 @@ int usage() {
       "  --seed-bug                  plant the ordering mutation (clients run\n"
       "                              without gap detection; search relaxes\n"
       "                              per-channel FIFO to expose it)\n"
+      "  --batch N                   server batch_max_msgs (default 1 = off;\n"
+      "                              > 1 arms the batch-boundary gap oracle)\n"
+      "  --batch-delay MS            batch delay bound in ms (default 2)\n"
+      "  --seed-batch-bug            plant the batch mutation (server drops\n"
+      "                              every coalesced frame's tail record;\n"
+      "                              the boundary oracle must catch it)\n"
       "  --no-prune                  disable revisited-state pruning\n"
       "  --replay TRACE|@FILE        re-execute one schedule trace twice\n"
       "  --trace-out FILE            write a violating trace here\n";
@@ -127,6 +133,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--seed-bug") {
       world.seed_ordering_bug = true;
       options.relax_channel_fifo = true;
+    } else if (arg == "--batch") {
+      if ((v = need_value(i)) == nullptr || !parse_u64(v, n)) return usage();
+      world.batch_max_msgs = n;
+    } else if (arg == "--batch-delay") {
+      if ((v = need_value(i)) == nullptr || !parse_u64(v, n)) return usage();
+      world.batch_max_delay = static_cast<corona::Duration>(n) *
+                              corona::kMillisecond;
+    } else if (arg == "--seed-batch-bug") {
+      world.seed_batch_bug = true;
     } else if (arg == "--no-prune") {
       options.prune_visited = false;
     } else if (arg == "--replay") {
@@ -200,6 +215,10 @@ int main(int argc, char** argv) {
                     ? " --world replicated"
                     : "")
             << (world.seed_ordering_bug ? " --seed-bug" : "")
+            << (world.seed_batch_bug ? " --seed-batch-bug" : "")
+            << (world.batch_max_msgs > 1
+                    ? " --batch " + std::to_string(world.batch_max_msgs)
+                    : "")
             << " --delay-bound " << options.delay_budget << " --branch "
             << options.max_branch << " --replay " << result.trace.to_string()
             << "\n";

@@ -54,6 +54,9 @@ bool is_prefix(const std::vector<NodeId>& prefix,
 }  // namespace
 
 CheckWorld::CheckWorld(const WorldOptions& options) : options_(options) {
+  if (options_.seed_batch_bug && options_.batch_max_msgs < 2) {
+    options_.batch_max_msgs = 4;  // the mutation needs multi-record frames
+  }
   last_seq_.resize(options_.clients);
   wants_join_.resize(options_.clients);
   crashes_left_ = options_.max_crashes;
@@ -86,14 +89,21 @@ CoronaClient::Callbacks CheckWorld::callbacks_for(std::size_t i) {
   return cb;
 }
 
-void CheckWorld::build_single() {
+ServerConfig CheckWorld::single_server_config() const {
   ServerConfig cfg;
   cfg.flush = options_.flush;
   cfg.flush_interval = 50 * kMillisecond;
-  server_ = std::make_unique<CoronaServer>(cfg, &store_);
+  cfg.batch_max_msgs = options_.batch_max_msgs;
+  cfg.batch_max_delay = options_.batch_max_delay;
+  cfg.debug_drop_batch_tail = options_.seed_batch_bug;
+  return cfg;
+}
+
+void CheckWorld::build_single() {
+  server_ = std::make_unique<CoronaServer>(single_server_config(), &store_);
   rt_.add_node(kServer, server_.get(), rt_.network().add_host(HostProfile{}));
   CoronaClient::Config ccfg;
-  ccfg.gap_detection = !options_.seed_ordering_bug;
+  ccfg.gap_detection = !options_.seed_ordering_bug && !options_.seed_batch_bug;
   for (std::size_t i = 0; i < options_.clients; ++i) {
     clients_.push_back(
         std::make_unique<CoronaClient>(kServer, callbacks_for(i), ccfg));
@@ -109,6 +119,8 @@ void CheckWorld::build_replicated() {
   cfg.election_window = 100 * kMillisecond;
   cfg.takeover_window = 100 * kMillisecond;
   cfg.flush_interval = 50 * kMillisecond;
+  cfg.batch_max_msgs = options_.batch_max_msgs;
+  cfg.batch_max_delay = options_.batch_max_delay;
   for (std::size_t i = 0; i < options_.servers; ++i) {
     server_ids_.push_back(NodeId{1 + i});
   }
@@ -119,7 +131,7 @@ void CheckWorld::build_replicated() {
                  rt_.network().add_host(HostProfile{}));
   }
   CoronaClient::Config ccfg;
-  ccfg.gap_detection = !options_.seed_ordering_bug;
+  ccfg.gap_detection = !options_.seed_ordering_bug && !options_.seed_batch_bug;
   for (std::size_t i = 0; i < options_.clients; ++i) {
     // Clients round-robin over the leaves (never the coordinator directly).
     const std::size_t leaf =
@@ -230,10 +242,8 @@ void CheckWorld::crash_server() {
       order_.clear();
     }
     q.schedule_after(5 * kMillisecond, [this] {
-      ServerConfig cfg;
-      cfg.flush = options_.flush;
-      cfg.flush_interval = 50 * kMillisecond;
-      auto fresh = std::make_unique<CoronaServer>(cfg, &store_);
+      auto fresh =
+          std::make_unique<CoronaServer>(single_server_config(), &store_);
       rt_.restart(kServer, fresh.get());
       server_ = std::move(fresh);
     });
@@ -299,6 +309,14 @@ void CheckWorld::on_deliver(std::size_t i, GroupId g, const UpdateRecord& rec) {
   if (it != last.end() && rec.seq <= it->second) {
     fail("ordering violation: client " + std::to_string(i) + " delivered seq " +
          std::to_string(rec.seq) + " after seq " + std::to_string(it->second));
+  } else if (options_.batch_max_msgs > 1 && it != last.end() &&
+             rec.seq > it->second + 1) {
+    // With batching on, a coalesced frame must carry its run whole: a seq
+    // jump at a client means a batch boundary swallowed records (e.g. a
+    // dropped tail), which per-message delivery could never produce.
+    fail("batch-boundary violation: client " + std::to_string(i) +
+         " jumped from seq " + std::to_string(it->second) + " to " +
+         std::to_string(rec.seq) + " across a batch boundary");
   }
   last[g.value] = rec.seq;
   check_record(g, rec, "delivery to client " + std::to_string(i));

@@ -75,6 +75,20 @@ struct WorldOptions {
   // the total-order oracle must catch it.
   bool seed_ordering_bug = false;
 
+  // Batched fan-out under exploration: > 1 turns on the server-side batch
+  // queue (ServerConfig / ReplicaConfig), so the scheduler's choices include
+  // where batch boundaries fall.  Deliveries must stay exactly contiguous
+  // per (client, group) across those boundaries — enforced by a gap oracle
+  // that only arms when batching is on (the unbatched gates keep their
+  // original oracle set).
+  std::size_t batch_max_msgs = 1;
+  Duration batch_max_delay = 2 * kMillisecond;
+  // Mutation: the server drops the tail record of every coalesced batch
+  // frame (ServerConfig::debug_drop_batch_tail) and clients run without gap
+  // detection, so the dropped tail surfaces as a (group, seq) gap the
+  // batch-boundary oracle must catch.  Forces batch_max_msgs >= 2.
+  bool seed_batch_bug = false;
+
   // kSync keeps "delivered => durable", which the cross-crash total-order
   // oracle depends on; with kAsync the (group, seq) map is reset per server
   // epoch instead (a recovering server may legitimately re-sequence).
@@ -149,6 +163,7 @@ class CheckWorld {
   };
 
   void fail(const std::string& what);
+  ServerConfig single_server_config() const;
   void build_single();
   void build_replicated();
   CoronaClient::Callbacks callbacks_for(std::size_t i);

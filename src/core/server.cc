@@ -1,7 +1,9 @@
 #include "core/server.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <set>
 
 #include "util/invariant.h"
 #include "util/logging.h"
@@ -108,8 +110,13 @@ void CoronaServer::on_timer(std::uint64_t tag) {
   }
   if (tag == kQosDrainTimer) {
     // Drain one message per service slot so higher-priority arrivals can
-    // overtake queued lower-priority ones while the server is busy.
-    if (auto item = qos_.dequeue()) {
+    // overtake queued lower-priority ones while the server is busy.  With
+    // batching enabled the slot admits up to a batch's worth so the batch
+    // queue can actually fill.
+    const std::size_t burst = std::max<std::size_t>(1, config_.batch_max_msgs);
+    for (std::size_t i = 0; i < burst; ++i) {
+      auto item = qos_.dequeue();
+      if (!item) break;
       qos_busy_until_ = now() + config_.qos_service_time;
       process(item->from, item->msg);
     }
@@ -120,6 +127,11 @@ void CoronaServer::on_timer(std::uint64_t tag) {
     }
     return;
   }
+  if (tag == kBatchTimer) {
+    batch_timer_ = 0;
+    drain_batch();
+    return;
+  }
   if (tag >= kPeerTagBase) {
     peer_transfer_timeout(tag - kPeerTagBase);
     return;
@@ -127,11 +139,9 @@ void CoronaServer::on_timer(std::uint64_t tag) {
   if (tag >= kSyncTagBase) {
     auto it = pending_sync_.find(tag - kSyncTagBase);
     if (it == pending_sync_.end()) return;
-    PendingSyncDelivery p = std::move(it->second);
+    std::vector<PendingDelivery> items = std::move(it->second);
     pending_sync_.erase(it);
-    if (Group* g = find_group(p.group)) {
-      deliver_to_members(*g, p.rec, p.sender_inclusive, p.sender);
-    }
+    fanout_batch(items);
     return;
   }
 }
@@ -477,11 +487,19 @@ void CoronaServer::handle_bcast(NodeId from, const Message& m) {
   rec.sender = from;
   rec.timestamp = now();  // server-side real-time stamping (§3.2)
   rec.request_id = m.request_id;
+
+  if (config_.batch_max_msgs > 1) {
+    // Batched path: the record is timestamped now (arrival), sequenced at
+    // the next drain in arrival order — the same order and the same record
+    // bytes the per-message path would produce.
+    enqueue_batch(
+        PendingDelivery{m.group, std::move(rec), m.sender_inclusive, from});
+    return;
+  }
   sequence_and_deliver(*group, std::move(rec), m.sender_inclusive, from);
 }
 
-void CoronaServer::sequence_and_deliver(Group& group, UpdateRecord rec,
-                                        bool sender_inclusive, NodeId sender) {
+void CoronaServer::sequence_record(Group& group, UpdateRecord& rec) {
   rec.seq = group.allocate_seq();
   group.mark_seen(rec.sender, rec.request_id);
   ++stats_.messages_sequenced;
@@ -495,26 +513,141 @@ void CoronaServer::sequence_and_deliver(Group& group, UpdateRecord rec,
                                   static_cast<double>(rec.data.size()))));
     group.state().apply(rec);
     store_->append_update(group.meta().id, rec);
+  }
+}
 
-    if (config_.flush == FlushPolicy::kSync) {
-      // Ablation baseline: hold the delivery until the log record is on the
-      // device.
-      const std::uint64_t bytes = store_->pending_bytes();
-      store_->flush();
-      ++stats_.flushes;
-      const TimePoint done = rt().disk_write(id(), bytes);
-      const std::uint64_t token = next_pending_++;
-      pending_sync_[token] = PendingSyncDelivery{
-          group.meta().id, std::move(rec), sender_inclusive, sender};
-      set_timer(done - now(), kSyncTagBase + token);
-      maybe_reduce(group);
-      return;
-    }
+void CoronaServer::sequence_and_deliver(Group& group, UpdateRecord rec,
+                                        bool sender_inclusive, NodeId sender) {
+  sequence_record(group, rec);
+
+  if (config_.stateful && config_.flush == FlushPolicy::kSync) {
+    // Ablation baseline: hold the delivery until the log record is on the
+    // device.
+    const std::uint64_t bytes = store_->pending_bytes();
+    const std::size_t records = store_->flush();
+    ++stats_.flushes;
+    const TimePoint done =
+        rt().disk_write(id(), bytes, std::max<std::size_t>(records, 1));
+    const std::uint64_t token = next_pending_++;
+    pending_sync_[token].push_back(PendingDelivery{
+        group.meta().id, std::move(rec), sender_inclusive, sender});
+    set_timer(done - now(), kSyncTagBase + token);
+    maybe_reduce(group);
+    return;
   }
 
   deliver_to_members(group, rec, sender_inclusive, sender);
   if (config_.stateful) maybe_reduce(group);
   CORONA_CHECK_INVARIANTS(group);
+}
+
+void CoronaServer::enqueue_batch(PendingDelivery p) {
+  batch_queue_.push_back(std::move(p));
+  if (batch_queue_.size() >= config_.batch_max_msgs) {
+    if (batch_timer_ != 0) {
+      cancel_timer(batch_timer_);
+      batch_timer_ = 0;
+    }
+    drain_batch();
+    return;
+  }
+  if (batch_timer_ == 0) {
+    batch_timer_ = set_timer(config_.batch_max_delay, kBatchTimer);
+  }
+}
+
+void CoronaServer::drain_batch() {
+  if (batch_queue_.empty()) return;
+  std::vector<PendingDelivery> batch = std::move(batch_queue_);
+  batch_queue_.clear();
+  if (batch.size() > 1) {
+    ++stats_.batches_sequenced;
+    stats_.batched_messages += batch.size();
+  }
+
+  // Sequence in arrival order — exactly the order the per-message path
+  // would have produced.  A group deleted since arrival drops its queued
+  // multicasts, as a delete racing an in-flight bcast always has.
+  std::vector<PendingDelivery> live;
+  live.reserve(batch.size());
+  std::set<GroupId> touched;
+  for (PendingDelivery& p : batch) {
+    Group* group = find_group(p.group);
+    if (group == nullptr) continue;
+    sequence_record(*group, p.rec);
+    touched.insert(p.group);
+    live.push_back(std::move(p));
+  }
+  if (live.empty()) return;
+
+  if (config_.stateful && config_.flush == FlushPolicy::kSync) {
+    // Group commit: ONE flush and ONE device write cover the entire batch;
+    // the device's fixed per-op cost is paid once for the whole run.  The
+    // run is delivered together when the commit lands.
+    const std::uint64_t bytes = store_->pending_bytes();
+    const std::size_t records = store_->flush();
+    ++stats_.flushes;
+    if (records > 1) {
+      ++stats_.group_commits;
+      stats_.group_commit_records += records;
+    }
+    const TimePoint done =
+        rt().disk_write(id(), bytes, std::max<std::size_t>(records, 1));
+    const std::uint64_t token = next_pending_++;
+    pending_sync_[token] = std::move(live);
+    set_timer(done - now(), kSyncTagBase + token);
+    for (GroupId gid : touched) {
+      if (Group* g = find_group(gid)) maybe_reduce(*g);
+    }
+    return;
+  }
+
+  fanout_batch(live);
+  for (GroupId gid : touched) {
+    if (Group* g = find_group(gid)) {
+      if (config_.stateful) maybe_reduce(*g);
+      CORONA_CHECK_INVARIANTS(*g);
+    }
+  }
+}
+
+void CoronaServer::fanout_batch(std::vector<PendingDelivery>& items) {
+  if (items.size() == 1) {
+    PendingDelivery& p = items.front();
+    if (Group* g = find_group(p.group)) {
+      deliver_to_members(*g, p.rec, p.sender_inclusive, p.sender);
+    }
+    return;
+  }
+  if (config_.use_ip_multicast) {
+    // One-to-many transport already coalesces the fan-out; batching the
+    // frames on top buys nothing, so keep per-record multicast.
+    for (PendingDelivery& p : items) {
+      if (Group* g = find_group(p.group)) {
+        deliver_to_members(*g, p.rec, p.sender_inclusive, p.sender);
+      }
+    }
+    return;
+  }
+  // One coalesced frame per client covering its whole run, in sequence
+  // order.  std::map keeps the per-client send order deterministic.
+  std::map<NodeId, std::vector<Message>> per_client;
+  for (PendingDelivery& p : items) {
+    Group* group = find_group(p.group);
+    if (group == nullptr) continue;
+    const Message out = make_deliver(p.group, p.rec);
+    for (const auto& [member, info] : group->members()) {
+      if (!p.sender_inclusive && member == p.sender) continue;
+      per_client[member].push_back(out);
+      ++stats_.deliveries_sent;
+      stats_.delivery_bytes += p.rec.data.size();
+    }
+  }
+  for (auto& [member, msgs] : per_client) {
+    if (config_.debug_drop_batch_tail && msgs.size() > 1) msgs.pop_back();
+    if (msgs.size() > 1) ++stats_.batch_frames_sent;
+    send_batch(member, msgs);
+  }
 }
 
 void CoronaServer::deliver_to_members(Group& group, const UpdateRecord& rec,

@@ -99,6 +99,24 @@ struct ServerConfig {
   // 0 disables the sweep (clients only leave explicitly).
   Duration client_timeout = 0;
 
+  // Batched fan-out & group commit.  When batch_max_msgs > 1, incoming
+  // multicasts queue at the server and are sequenced as a batch: the queue
+  // drains when it reaches batch_max_msgs or batch_max_delay after the first
+  // queued message, whichever comes first.  The whole batch is covered by a
+  // single log flush (group commit) under FlushPolicy::kSync, and each
+  // client receives one coalesced frame per drain instead of one frame per
+  // message.  Sequencing order is arrival order and each record's timestamp
+  // is stamped at arrival, so per-client delivery streams are byte-identical
+  // to the unbatched path.  batch_max_msgs <= 1 keeps today's per-message
+  // path exactly.
+  std::size_t batch_max_msgs = 1;
+  Duration batch_max_delay = 0;
+
+  // Test hook (bug seeding for the checker): silently drop the last message
+  // of every multi-message client frame.  The contiguity oracle must catch
+  // the resulting per-client sequence gap.  Never enable outside tests.
+  bool debug_drop_batch_tail = false;
+
   // §5.3 extension: deliver through the runtime's one-to-many primitive
   // ("a version of the communication system which uses both IP-multicast,
   // whenever possible, and point-to-point TCP connections").  Fan-out then
@@ -124,6 +142,12 @@ struct ServerStats {
   std::uint64_t clients_expired = 0;   // dropped by the liveness sweep
   std::uint64_t peer_transfers = 0;    // joins served by a donor member
   std::uint64_t peer_timeouts = 0;     // donors that had to be skipped
+  // Batching / group commit.
+  std::uint64_t batches_sequenced = 0;     // drains covering > 1 message
+  std::uint64_t batched_messages = 0;      // messages sequenced via a batch
+  std::uint64_t batch_frames_sent = 0;     // coalesced (>1 msg) client frames
+  std::uint64_t group_commits = 0;         // sync flushes covering > 1 record
+  std::uint64_t group_commit_records = 0;  // records those commits covered
 };
 
 class CoronaServer : public Node {
@@ -174,14 +198,34 @@ class CoronaServer : public Node {
                          std::vector<UpdateRecord> updates);
 
   // -- internals -------------------------------------------------------------
+  // One multicast awaiting sequencing (batch queue) or delivery (sync hold).
+  struct PendingDelivery {
+    GroupId group;
+    UpdateRecord rec;
+    bool sender_inclusive;
+    NodeId sender;
+  };
+
   Group* find_group(GroupId g);
   Status authorize(NodeId client, GroupId g, GroupAction action);
+  // Sequences `rec` only: allocates the seq, marks the dedup set, charges
+  // state CPU, applies to shared state and appends to the log.  Shared by
+  // the per-message and batched paths so both produce identical records.
+  void sequence_record(Group& group, UpdateRecord& rec);
   // Sequences `rec` into `group`, applies it to state + log, charges CPU.
   // Delivery is immediate (kNone/kAsync) or deferred behind the disk (kSync).
   void sequence_and_deliver(Group& group, UpdateRecord rec,
                             bool sender_inclusive, NodeId sender);
   void deliver_to_members(Group& group, const UpdateRecord& rec,
                           bool sender_inclusive, NodeId sender);
+  // Queues a validated multicast on the batch queue; drains at threshold.
+  void enqueue_batch(PendingDelivery p);
+  // Sequences every queued multicast in arrival order, covers the run with
+  // one group commit (kSync), and fans out coalesced per-client frames.
+  void drain_batch();
+  // Fans out a run of already-sequenced records, one coalesced frame per
+  // client.  A single-record run degenerates to deliver_to_members.
+  void fanout_batch(std::vector<PendingDelivery>& items);
   void send_membership_notices(Group& group, NodeId subject, MemberRole role,
                                bool joined);
   void perform_reduction(Group& group, SeqNo upto);
@@ -205,14 +249,14 @@ class CoronaServer : public Node {
   TimePoint qos_busy_until_ = 0;  // end of the current admission slot
   ServerStats stats_;
 
-  struct PendingSyncDelivery {
-    GroupId group;
-    UpdateRecord rec;
-    bool sender_inclusive;
-    NodeId sender;
-  };
-  std::map<std::uint64_t, PendingSyncDelivery> pending_sync_;
+  // Sync-flush holds: the whole commit group waits for one device write and
+  // is then fanned out together.
+  std::map<std::uint64_t, std::vector<PendingDelivery>> pending_sync_;
   std::uint64_t next_pending_ = 1;
+
+  // Batch queue (config_.batch_max_msgs > 1 only).
+  std::vector<PendingDelivery> batch_queue_;
+  TimerHandle batch_timer_ = 0;
 
   struct PendingPeerJoin {
     GroupId group;
@@ -230,6 +274,7 @@ class CoronaServer : public Node {
   static constexpr std::uint64_t kFlushTimer = 1;
   static constexpr std::uint64_t kQosDrainTimer = 2;
   static constexpr std::uint64_t kLivenessTimer = 3;
+  static constexpr std::uint64_t kBatchTimer = 4;
   static constexpr std::uint64_t kSyncTagBase = 1000;
   static constexpr std::uint64_t kPeerTagBase = 1u << 30;
 };

@@ -7,6 +7,7 @@
 #include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/types.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -172,6 +173,8 @@ SocketRuntime::Stats SocketRuntime::stats() const {
   s.corrupt_frames = counters_.corrupt_frames.load();
   s.messages_dropped = counters_.messages_dropped.load();
   s.pings_sent = counters_.pings_sent.load();
+  s.writev_calls = counters_.writev_calls.load();
+  s.frames_coalesced = counters_.frames_coalesced.load();
   return s;
 }
 
@@ -190,6 +193,30 @@ void SocketRuntime::send(NodeId from, NodeId to, const Message& m) {
   op.from = from;
   op.to = to;
   op.wire = m.encode();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ops_.push_back(std::move(op));
+  }
+  wake();
+}
+
+void SocketRuntime::send_batch(NodeId from, NodeId to,
+                               const std::vector<Message>& ms) {
+  if (ms.empty()) return;
+  if (ms.size() == 1) {
+    send(from, to, ms.front());
+    return;
+  }
+  if (stopping_.load()) {
+    counters_.messages_dropped.fetch_add(ms.size());
+    return;
+  }
+  Op op;
+  op.kind = Op::Kind::kSendBatch;
+  op.from = from;
+  op.to = to;
+  op.wires.reserve(ms.size());
+  for (const Message& m : ms) op.wires.push_back(m.encode());
   {
     std::lock_guard<std::mutex> lock(mu_);
     ops_.push_back(std::move(op));
@@ -319,6 +346,9 @@ void SocketRuntime::drain_ops() {
         case Op::Kind::kSend:
           apply_send(op.from, op.to, std::move(op.wire));
           break;
+        case Op::Kind::kSendBatch:
+          apply_send_batch(op.from, op.to, std::move(op.wires));
+          break;
         case Op::Kind::kSetTimer:
           timers_[{op.deadline, op.handle}] = TimerRec{op.to, op.tag};
           timer_index_[op.handle] = op.deadline;
@@ -392,6 +422,79 @@ void SocketRuntime::apply_send(NodeId from, NodeId to, Bytes wire) {
   if (peer.fd < 0 && !peer.next_connect_at) start_connect(to, peer);
 }
 
+void SocketRuntime::apply_send_batch(NodeId from, NodeId to,
+                                     std::vector<Bytes> wires) {
+  // Loopback: the run surfaces back-to-back, in send order.
+  if (const auto it = nodes_.find(to); it != nodes_.end()) {
+    for (const Bytes& wire : wires) {
+      auto decoded = Message::decode(wire);
+      if (!decoded.is_ok()) {
+        counters_.corrupt_frames.fetch_add(1);
+        continue;
+      }
+      it->second->on_message(from, decoded.value());
+    }
+    return;
+  }
+
+  std::vector<Bytes> frames;
+  frames.reserve(wires.size());
+  std::size_t total = 0;
+  for (const Bytes& wire : wires) {
+    frames.push_back(encode_message_frame(from, to, wire));
+    total += frames.back().size();
+  }
+
+  if (const auto r = routes_.find(to); r != routes_.end()) {
+    const auto cit = conns_.find(r->second);
+    if (cit != conns_.end() && !cit->second->dead) {
+      Conn& c = *cit->second;
+      // The batch queues atomically: either the whole run fits under the
+      // cap or none of it does (a shed batch never leaves a gapped suffix).
+      if (c.outq_bytes + total > cfg_.max_conn_queue_bytes) {
+        counters_.messages_dropped.fetch_add(frames.size());
+        return;
+      }
+      for (Bytes& frame : frames) {
+        c.outq_bytes += frame.size();
+        c.outq.push_back(std::move(frame));
+      }
+      if (c.open) flush_conn(c);  // one gathered flush covers the run
+      return;
+    }
+  }
+  const auto pit = peers_.find(to);
+  if (pit == peers_.end()) {
+    counters_.messages_dropped.fetch_add(frames.size());
+    return;
+  }
+  Peer& peer = pit->second;
+  if (peer.fd >= 0) {
+    const auto cit = conns_.find(peer.fd);
+    if (cit != conns_.end() && !cit->second->dead) {
+      Conn& c = *cit->second;
+      if (c.outq_bytes + total > cfg_.max_conn_queue_bytes) {
+        counters_.messages_dropped.fetch_add(frames.size());
+        return;
+      }
+      for (Bytes& frame : frames) {
+        c.outq_bytes += frame.size();
+        c.outq.push_back(std::move(frame));
+      }
+      return;
+    }
+  }
+  if (peer.pending_bytes + total > cfg_.max_conn_queue_bytes) {
+    counters_.messages_dropped.fetch_add(frames.size());
+    return;
+  }
+  for (Bytes& frame : frames) {
+    peer.pending_bytes += frame.size();
+    peer.pending.push_back(std::move(frame));
+  }
+  if (peer.fd < 0 && !peer.next_connect_at) start_connect(to, peer);
+}
+
 void SocketRuntime::queue_on_conn(Conn& c, Bytes frame) {
   if (c.outq_bytes + frame.size() > cfg_.max_conn_queue_bytes) {
     counters_.messages_dropped.fetch_add(1);
@@ -403,20 +506,48 @@ void SocketRuntime::queue_on_conn(Conn& c, Bytes frame) {
 
 void SocketRuntime::flush_conn(Conn& c) {
   if (!c.open || c.dead) return;
+  // Gathered writes: every queued frame (up to the iovec cap) goes out in
+  // one writev, so a coalesced batch costs one syscall instead of one per
+  // frame.  Partial writes leave wip_off pointing into the first unsent
+  // frame, exactly as the per-frame loop did.
+  static constexpr std::size_t kMaxIov = 64;
   while (!c.outq.empty()) {
-    const Bytes& front = c.outq.front();
-    const ssize_t n = ::send(c.fd, front.data() + c.wip_off,
-                             front.size() - c.wip_off, MSG_NOSIGNAL);
+    iovec iov[kMaxIov];
+    std::size_t niov = 0;
+    for (auto it = c.outq.begin(); it != c.outq.end() && niov < kMaxIov;
+         ++it) {
+      const std::size_t off = niov == 0 ? c.wip_off : 0;
+      iov[niov].iov_base = it->data() + off;
+      iov[niov].iov_len = it->size() - off;
+      ++niov;
+    }
+    // sendmsg == writev + MSG_NOSIGNAL (a peer that closed mid-batch must
+    // surface as EPIPE on this thread, not kill the process).
+    msghdr mh{};
+    mh.msg_iov = iov;
+    mh.msg_iovlen = niov;
+    const ssize_t n = ::sendmsg(c.fd, &mh, MSG_NOSIGNAL);
     if (n > 0) {
       counters_.bytes_sent.fetch_add(static_cast<std::uint64_t>(n));
-      c.wip_off += static_cast<std::size_t>(n);
+      counters_.writev_calls.fetch_add(1);
       c.last_tx = now();
-      if (c.wip_off == front.size()) {
-        c.outq_bytes -= front.size();
-        c.outq.pop_front();
-        c.wip_off = 0;
-        counters_.frames_sent.fetch_add(1);
+      std::size_t left = static_cast<std::size_t>(n);
+      std::uint64_t completed = 0;
+      while (left > 0 && !c.outq.empty()) {
+        const std::size_t remain = c.outq.front().size() - c.wip_off;
+        if (left >= remain) {
+          left -= remain;
+          c.outq_bytes -= c.outq.front().size();
+          c.outq.pop_front();
+          c.wip_off = 0;
+          counters_.frames_sent.fetch_add(1);
+          ++completed;
+        } else {
+          c.wip_off += left;
+          left = 0;
+        }
       }
+      if (niov > 1) counters_.frames_coalesced.fetch_add(completed);
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;

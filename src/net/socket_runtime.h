@@ -84,6 +84,8 @@ class SocketRuntime : public Runtime {
     std::uint64_t corrupt_frames = 0;   // framing/decode errors (conn torn down)
     std::uint64_t messages_dropped = 0; // no route, queue overflow, or stopped
     std::uint64_t pings_sent = 0;
+    std::uint64_t writev_calls = 0;     // gathered writes issued
+    std::uint64_t frames_coalesced = 0; // frames covered by those writes
   };
 
   explicit SocketRuntime(SocketRuntimeConfig cfg = {});
@@ -120,16 +122,23 @@ class SocketRuntime : public Runtime {
   // -- Runtime interface ----------------------------------------------------
   TimePoint now() const override;
   void send(NodeId from, NodeId to, const Message& m) override;
+  // Batched send: all frames enter the peer's queue under one op (one lock
+  // acquisition, one loop wakeup) and leave in as few gathered writes as the
+  // socket accepts.  Loss stays atomic: a connection torn down mid-batch
+  // loses the whole queued suffix together, never an interior frame.
+  void send_batch(NodeId from, NodeId to,
+                  const std::vector<Message>& ms) override;
   TimerHandle set_timer(NodeId owner, Duration delay,
                         std::uint64_t tag) override;
   void cancel_timer(TimerHandle handle) override;
 
  private:
   struct Op {
-    enum class Kind { kSend, kSetTimer, kCancelTimer, kDrop } kind;
-    // kSend
+    enum class Kind { kSend, kSendBatch, kSetTimer, kCancelTimer, kDrop } kind;
+    // kSend / kSendBatch
     NodeId from, to;
     Bytes wire;
+    std::vector<Bytes> wires;  // kSendBatch only
     // timers
     TimerHandle handle = 0;
     TimePoint deadline = 0;
@@ -168,6 +177,7 @@ class SocketRuntime : public Runtime {
   void loop();
   void drain_ops();
   void apply_send(NodeId from, NodeId to, Bytes wire);
+  void apply_send_batch(NodeId from, NodeId to, std::vector<Bytes> wires);
   void queue_on_conn(Conn& c, Bytes frame);
   void flush_conn(Conn& c);
   void update_epoll(Conn& c, bool want_write);
@@ -230,6 +240,7 @@ class SocketRuntime : public Runtime {
     std::atomic<std::uint64_t> reconnects_scheduled{0};
     std::atomic<std::uint64_t> corrupt_frames{0}, messages_dropped{0};
     std::atomic<std::uint64_t> pings_sent{0};
+    std::atomic<std::uint64_t> writev_calls{0}, frames_coalesced{0};
   };
   AtomicStats counters_;
 };

@@ -254,10 +254,41 @@ void ReplicaServer::coord_sequence(CoordGroup& cg, UpdateRecord rec,
   out.timestamp = rec.timestamp;
   out.request_id = rec.request_id;
   out.sender_inclusive = sender_inclusive;
-  for (NodeId holder : repl_.holders(cg.meta.id)) {
-    send(holder, out);
+  if (cfg_.batch_max_msgs > 1) {
+    // Batched fan-out: the sequencing decision above is final and immediate
+    // (seq, state, log, timestamp all per-message); only the outbound frames
+    // coalesce.  Each leaf's run flushes as one frame at the threshold or
+    // after batch_max_delay.
+    for (NodeId holder : repl_.holders(cg.meta.id)) {
+      coord_outbox_[holder].push_back(out);
+    }
+    ++coord_outbox_msgs_;
+    if (coord_outbox_msgs_ >= cfg_.batch_max_msgs) {
+      if (coord_batch_timer_ != 0) {
+        cancel_timer(coord_batch_timer_);
+        coord_batch_timer_ = 0;
+      }
+      coord_flush_outbox();
+    } else if (coord_batch_timer_ == 0) {
+      coord_batch_timer_ = set_timer(cfg_.batch_max_delay, kCoordBatchTimer);
+    }
+  } else {
+    for (NodeId holder : repl_.holders(cg.meta.id)) {
+      send(holder, out);
+    }
   }
   CORONA_CHECK_INVARIANTS(cg);
+}
+
+void ReplicaServer::coord_flush_outbox() {
+  coord_outbox_msgs_ = 0;
+  if (coord_outbox_.empty()) return;
+  auto outbox = std::move(coord_outbox_);
+  coord_outbox_.clear();
+  for (auto& [leaf, msgs] : outbox) {
+    if (msgs.size() > 1) ++stats_.seq_batch_frames;
+    send_batch(leaf, msgs);
+  }
 }
 
 void ReplicaServer::coord_handle_resend(NodeId from, const Message& m) {

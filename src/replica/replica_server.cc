@@ -293,6 +293,14 @@ void ReplicaServer::on_timer(std::uint64_t tag) {
         set_timer(cfg_.flush_interval, kFlushTimer);
       }
       break;
+    case kCoordBatchTimer:
+      coord_batch_timer_ = 0;
+      coord_flush_outbox();
+      break;
+    case kLeafBatchTimer:
+      leaf_batch_timer_ = 0;
+      leaf_flush_outbox();
+      break;
     default:
       break;
   }
@@ -438,10 +446,41 @@ void ReplicaServer::leaf_apply_and_fanout(LocalGroup& lg,
                                           NodeId origin) {
   lg.state.apply(rec);
   const Message out = make_deliver(lg.meta.id, rec);
+  if (cfg_.batch_max_msgs > 1) {
+    // Batched fan-out: the record is applied immediately (ordering and gap
+    // detection unchanged); only the kDeliver frames coalesce per client.
+    for (const auto& [member, info] : lg.local_members) {
+      if (!sender_inclusive && member == origin) continue;
+      leaf_outbox_[member].push_back(out);
+      ++stats_.fanout_deliveries;
+    }
+    ++leaf_outbox_msgs_;
+    if (leaf_outbox_msgs_ >= cfg_.batch_max_msgs) {
+      if (leaf_batch_timer_ != 0) {
+        cancel_timer(leaf_batch_timer_);
+        leaf_batch_timer_ = 0;
+      }
+      leaf_flush_outbox();
+    } else if (leaf_batch_timer_ == 0) {
+      leaf_batch_timer_ = set_timer(cfg_.batch_max_delay, kLeafBatchTimer);
+    }
+    return;
+  }
   for (const auto& [member, info] : lg.local_members) {
     if (!sender_inclusive && member == origin) continue;
     send(member, out);
     ++stats_.fanout_deliveries;
+  }
+}
+
+void ReplicaServer::leaf_flush_outbox() {
+  leaf_outbox_msgs_ = 0;
+  if (leaf_outbox_.empty()) return;
+  auto outbox = std::move(leaf_outbox_);
+  leaf_outbox_.clear();
+  for (auto& [client, msgs] : outbox) {
+    if (msgs.size() > 1) ++stats_.fanout_batch_frames;
+    send_batch(client, msgs);
   }
 }
 
@@ -532,6 +571,8 @@ void ReplicaServer::leaf_handle_state_reply(NodeId from, const Message& m) {
 }
 
 void ReplicaServer::leaf_push_snapshot_to_members(LocalGroup& lg) {
+  // Queued deliveries must not arrive after a snapshot that supersedes them.
+  leaf_flush_outbox();
   Message push;
   push.type = MsgType::kStateReply;
   push.group = lg.meta.id;

@@ -65,6 +65,17 @@ struct ReplicaConfig {
   // CPU model for state maintenance (same role as ServerConfig's).
   Duration state_cpu_per_msg = 20;
   double state_cpu_per_byte = 0.02;
+
+  // Batched fan-out.  When batch_max_msgs > 1, the coordinator coalesces
+  // outbound kSeqMulticast frames per leaf and leaves coalesce kDeliver
+  // frames per client: an outbox accumulates until batch_max_msgs sequencing
+  // decisions are queued or batch_max_delay after the first, then every
+  // destination gets one coalesced frame.  Sequencing, state application and
+  // timestamping stay immediate and per-message, so ordering, gap detection,
+  // retransmission and state transfer are semantically untouched.
+  // batch_max_msgs <= 1 keeps today's one-frame-per-message path.
+  std::size_t batch_max_msgs = 1;
+  Duration batch_max_delay = 0;
 };
 
 struct ReplicaStats {
@@ -77,6 +88,9 @@ struct ReplicaStats {
   std::uint64_t elections_won = 0;
   std::uint64_t takeover_pulls = 0;
   std::uint64_t reconciled_groups = 0;
+  // Batching: coalesced (>1 msg) frames sent downstream.
+  std::uint64_t seq_batch_frames = 0;     // coordinator -> leaf
+  std::uint64_t fanout_batch_frames = 0;  // leaf -> client
 };
 
 class ReplicaServer : public Node {
@@ -146,6 +160,8 @@ class ReplicaServer : public Node {
   void leaf_handle_seq_multicast(const Message& m);
   void leaf_apply_and_fanout(LocalGroup& lg, const UpdateRecord& rec,
                              bool sender_inclusive, NodeId origin);
+  // Sends every queued kDeliver run, one coalesced frame per client.
+  void leaf_flush_outbox();
   void leaf_handle_state_reply(NodeId from, const Message& m);
   void leaf_install_state(GroupId g, const Message& m);
   void leaf_handle_notice(const Message& m);
@@ -195,6 +211,8 @@ class ReplicaServer : public Node {
   void coord_op_lock(NodeId leaf, const Message& m);
   void coord_op_unlock(NodeId leaf, const Message& m);
   void coord_op_reduce(NodeId leaf, const Message& m);
+  // Sends every queued kSeqMulticast run, one coalesced frame per leaf.
+  void coord_flush_outbox();
   void coord_handle_state_query(NodeId from, const Message& m);
   void coord_handle_resend(NodeId from, const Message& m);
   void coord_handle_hello(NodeId from, const Message& m);
@@ -234,6 +252,15 @@ class ReplicaServer : public Node {
   ServerRegistry registry_;
   ReplicaStats stats_;
 
+  // Batching outboxes (cfg_.batch_max_msgs > 1 only): per-destination runs
+  // of already-sequenced frames awaiting one coalesced send each.
+  std::map<NodeId, std::vector<Message>> coord_outbox_;
+  std::size_t coord_outbox_msgs_ = 0;  // sequencing decisions queued
+  TimerHandle coord_batch_timer_ = 0;
+  std::map<NodeId, std::vector<Message>> leaf_outbox_;
+  std::size_t leaf_outbox_msgs_ = 0;  // applied records queued
+  TimerHandle leaf_batch_timer_ = 0;
+
   // leaf
   std::map<GroupId, LocalGroup> local_;
   std::map<GroupId, std::vector<std::pair<NodeId, Message>>> pending_joins_;
@@ -265,6 +292,8 @@ class ReplicaServer : public Node {
   static constexpr std::uint64_t kElectionTimer = 3;
   static constexpr std::uint64_t kTakeoverTimer = 4;
   static constexpr std::uint64_t kFlushTimer = 5;
+  static constexpr std::uint64_t kCoordBatchTimer = 6;
+  static constexpr std::uint64_t kLeafBatchTimer = 7;
 };
 
 }  // namespace corona

@@ -66,13 +66,32 @@ class Runtime {
     for (NodeId t : to) send(from, t, m);
   }
 
+  // Many-to-one-peer send: `ms` travel to `to` as ONE coalesced batch frame
+  // and are delivered as |ms| ordinary on_message calls in order.  The wire
+  // format is unchanged — a batch is just the back-to-back concatenation of
+  // the individual message frames — but engines amortize per-send costs over
+  // the batch: the simulator charges one per-message CPU cost for the whole
+  // batch on each end, and the socket engine turns the queue into a single
+  // writev.  The batch is atomic with respect to loss: either the whole
+  // frame arrives or none of it does (like one TCP segment run).  The
+  // default expands to point-to-point sends (engines without a cheaper
+  // primitive stay correct).
+  virtual void send_batch(NodeId from, NodeId to,
+                          const std::vector<Message>& ms) {
+    for (const Message& m : ms) send(from, to, m);
+  }
+
   // Queues `bytes` at `node`'s log device and returns the completion time.
   // The device has its own timeline (paper §6: multicast proceeds in
   // parallel with disk logging); a server enforcing synchronous flush waits
-  // for the returned instant via a timer.
-  virtual TimePoint disk_write(NodeId node, std::size_t bytes) {
+  // for the returned instant via a timer.  `records` is the number of log
+  // records the write covers — 1 for a classic per-message flush, more for
+  // a group commit — used by the device model for amortization accounting.
+  virtual TimePoint disk_write(NodeId node, std::size_t bytes,
+                               std::size_t records = 1) {
     (void)node;
     (void)bytes;
+    (void)records;
     return now();
   }
 };
@@ -100,6 +119,13 @@ class Node {
   void send(NodeId to, const Message& m) { rt().send(self_, to, m); }
   void multicast(const std::vector<NodeId>& to, const Message& m) {
     rt().multicast(self_, to, m);
+  }
+  void send_batch(NodeId to, const std::vector<Message>& ms) {
+    if (ms.size() == 1) {
+      rt().send(self_, to, ms.front());
+      return;
+    }
+    if (!ms.empty()) rt().send_batch(self_, to, ms);
   }
   TimerHandle set_timer(Duration delay, std::uint64_t tag) {
     return rt().set_timer(self_, delay, tag);

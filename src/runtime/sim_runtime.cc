@@ -113,6 +113,66 @@ void SimRuntime::multicast(NodeId from, const std::vector<NodeId>& to,
   }
 }
 
+void SimRuntime::send_batch(NodeId from, NodeId to,
+                            const std::vector<Message>& ms) {
+  if (ms.empty()) return;
+  if (ms.size() == 1) {
+    send(from, to, ms.front());
+    return;
+  }
+  assert(nodes_.contains(to) && "send_batch to unregistered node");
+  // The batch rides as one coalesced frame: per-message framing is unchanged
+  // (each message is encoded exactly as it would be alone) but the sender
+  // and receiver each pay a single per-message CPU cost for the whole run.
+  std::vector<Bytes> wires;
+  wires.reserve(ms.size());
+  std::size_t total = 0;
+  for (const Message& m : ms) {
+    wires.push_back(m.encode());
+    total += wires.back().size();
+  }
+  const auto arrival = network_.transmit_batch(from, to, total, ms.size(),
+                                               sim_.now());
+  if (!arrival) {
+    LOG_TRACE("sim", "dropped batch of ", ms.size(), " ", from.value, " -> ",
+              to.value);
+    return;
+  }
+  if (drop_filter_) {
+    // The filter sees each message; a batch is atomic on the wire, so any
+    // filtered message drops the whole frame (a dying connection loses the
+    // segment run, not individual messages inside it).
+    for (const Message& m : ms) {
+      if (drop_filter_(from, to, m)) {
+        ++dropped_by_filter_;
+        return;
+      }
+    }
+  }
+  const std::uint64_t inc = incarnation_[to];
+  sim_.queue().schedule_at(
+      *arrival, EventTag{EventKind::kArrival, from.value, to.value},
+      [this, from, to, wires = std::move(wires), inc, total] {
+        if (incarnation_[to] != inc || network_.is_crashed(to)) return;
+        // One receive booking for the coalesced frame...
+        const TimePoint deliver_at =
+            network_.book_receive(to, total, sim_.now());
+        sim_.queue().schedule_at(
+            deliver_at, EventTag{EventKind::kDeliver, from.value, to.value},
+            [this, from, to, wires, inc] {
+              if (incarnation_[to] != inc || network_.is_crashed(to)) return;
+              // ...then the messages surface back-to-back, in send order.
+              for (const Bytes& wire : wires) {
+                if (incarnation_[to] != inc || network_.is_crashed(to)) return;
+                auto decoded = Message::decode(wire);
+                assert(decoded.is_ok() &&
+                       "self-encoded message failed to decode");
+                nodes_[to]->on_message(from, decoded.value());
+              }
+            });
+      });
+}
+
 TimerHandle SimRuntime::set_timer(NodeId owner, Duration delay,
                                   std::uint64_t tag) {
   const TimerHandle handle = next_timer_++;
@@ -132,9 +192,10 @@ void SimRuntime::charge_cpu(NodeId node, Duration d) {
   network_.charge_cpu(node, d, sim_.now());
 }
 
-TimePoint SimRuntime::disk_write(NodeId node, std::size_t bytes) {
+TimePoint SimRuntime::disk_write(NodeId node, std::size_t bytes,
+                                 std::size_t records) {
   auto [it, inserted] = disks_.try_emplace(node, DiskProfile{});
-  return it->second.write(bytes, sim_.now());
+  return it->second.write(bytes, sim_.now(), records);
 }
 
 void SimRuntime::set_disk(NodeId node, DiskProfile profile) {

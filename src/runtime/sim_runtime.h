@@ -50,11 +50,14 @@ class SimRuntime : public Runtime {
   void send(NodeId from, NodeId to, const Message& m) override;
   void multicast(NodeId from, const std::vector<NodeId>& to,
                  const Message& m) override;
+  void send_batch(NodeId from, NodeId to,
+                  const std::vector<Message>& ms) override;
   TimerHandle set_timer(NodeId owner, Duration delay,
                         std::uint64_t tag) override;
   void cancel_timer(TimerHandle handle) override;
   void charge_cpu(NodeId node, Duration d) override;
-  TimePoint disk_write(NodeId node, std::size_t bytes) override;
+  TimePoint disk_write(NodeId node, std::size_t bytes,
+                       std::size_t records = 1) override;
 
   // Configures the log-device model for `node` (default: paper-era disk).
   void set_disk(NodeId node, DiskProfile profile);

@@ -5,14 +5,20 @@
 
 namespace corona {
 
-TimePoint SimDisk::write(std::size_t size, TimePoint now) {
+TimePoint SimDisk::write(std::size_t size, TimePoint now,
+                         std::size_t records) {
   const TimePoint start = std::max(now, free_at_);
-  // Per-op rate expression, llround()ed immediately — no float state.
+  // Per-op rate expression, llround()ed immediately — no float state.  The
+  // fixed per_op_us is charged once per write regardless of how many log
+  // records it covers — that amortization is the whole point of group
+  // commit.
   const auto xfer = static_cast<Duration>(std::llround(
       static_cast<double>(size) / profile_.bytes_per_sec * 1e6));  // lint: float-ok
   free_at_ = start + profile_.per_op_us + xfer;
   bytes_written_ += size;
   ++ops_;
+  records_written_ += records;
+  max_commit_records_ = std::max(max_commit_records_, records);
   return free_at_;
 }
 

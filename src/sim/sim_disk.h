@@ -29,11 +29,17 @@ class SimDisk {
   explicit SimDisk(DiskProfile profile = {}) : profile_(profile) {}
 
   // Queues a write of `size` bytes issued at `now`; returns its completion
-  // time.  Writes serialize at the device.
-  TimePoint write(std::size_t size, TimePoint now);
+  // time.  Writes serialize at the device.  `records` is the number of log
+  // records the write covers: a group commit amortizes the fixed per-op cost
+  // (seek/rotational + syscall) over the whole commit group, which is
+  // exactly what the accounting below measures.
+  TimePoint write(std::size_t size, TimePoint now, std::size_t records = 1);
 
   std::uint64_t bytes_written() const { return bytes_written_; }
   std::uint64_t ops() const { return ops_; }
+  std::uint64_t records_written() const { return records_written_; }
+  // Largest commit group a single write has covered.
+  std::size_t max_commit_records() const { return max_commit_records_; }
   // Device-busy time ÷ wall time gives utilization; exposed for benches.
   TimePoint busy_until() const { return free_at_; }
 
@@ -42,6 +48,8 @@ class SimDisk {
   TimePoint free_at_ = 0;
   std::uint64_t bytes_written_ = 0;
   std::uint64_t ops_ = 0;
+  std::uint64_t records_written_ = 0;
+  std::size_t max_commit_records_ = 0;
 };
 
 }  // namespace corona

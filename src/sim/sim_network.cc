@@ -182,6 +182,42 @@ std::optional<TimePoint> SimNetwork::transmit(NodeId from, NodeId to,
   return arrival;
 }
 
+std::optional<TimePoint> SimNetwork::transmit_batch(NodeId from, NodeId to,
+                                                    std::size_t size,
+                                                    std::size_t msgs,
+                                                    TimePoint now) {
+  const HostId from_host = host_of(from);
+  const HostId to_host = host_of(to);
+  Host& src = hosts_[from_host.value];
+
+  // One per-message CPU cost covers the whole coalesced frame: the sender
+  // enters the kernel once for the run of frames (a writev), paying the
+  // fixed syscall/context cost once and the per-byte copy cost in full.
+  const TimePoint cpu_start = std::max(now, src.tx_free_at);
+  const TimePoint wire_ready = cpu_start + src.profile.send_cost(size);
+  src.tx_free_at = wire_ready;
+
+  if (crashed_.contains(from) || crashed_.contains(to)) return std::nullopt;
+  if (cell_of(from) != cell_of(to)) return std::nullopt;
+
+  TimePoint tx_end = wire_ready;
+  if (from_host != to_host && shared_bytes_per_sec_ > 0) {
+    const TimePoint tx_start = std::max(wire_ready, medium_free_at_);
+    // Per-batch rate expression, llround()ed immediately.
+    const auto tx_time = static_cast<Duration>(std::llround(
+        static_cast<double>(size) / shared_bytes_per_sec_ * 1e6));  // lint: float-ok
+    tx_end = tx_start + tx_time;
+    medium_free_at_ = tx_end;
+  }
+
+  const TimePoint arrival = tx_end + latency_between(from_host, to_host);
+
+  bytes_sent_ += size;
+  messages_sent_ += msgs;
+  ++batches_sent_;
+  return arrival;
+}
+
 TimePoint SimNetwork::book_receive(NodeId to, std::size_t size,
                                    TimePoint arrival) {
   Host& dst = hosts_[host_of(to).value];

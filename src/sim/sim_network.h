@@ -118,6 +118,16 @@ class SimNetwork {
       NodeId from, const std::vector<NodeId>& to, std::size_t size,
       TimePoint now);
 
+  // Many-to-one-peer transmission (batched fan-out): `msgs` messages totaling
+  // `size` bytes travel as ONE coalesced frame, so the sender pays a single
+  // per-message CPU cost for the whole batch (plus the per-byte cost of the
+  // full payload) and the medium carries one contiguous run.  Message
+  // accounting still counts `msgs` messages; the batch itself is counted in
+  // batches_sent().  Loss is all-or-nothing for the frame.
+  std::optional<TimePoint> transmit_batch(NodeId from, NodeId to,
+                                          std::size_t size, std::size_t msgs,
+                                          TimePoint now);
+
   // Occupies `node`'s host CPU for `d` starting no earlier than `now`
   // (server-internal work such as state maintenance).
   void charge_cpu(NodeId node, Duration d, TimePoint now);
@@ -125,6 +135,7 @@ class SimNetwork {
   // Accounting (total bytes accepted onto the wire).
   std::uint64_t bytes_sent() const { return bytes_sent_; }
   std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t batches_sent() const { return batches_sent_; }
 
   // Diagnostics: how far ahead of `now` a node's host timelines are booked
   // (the queueing backlog at that host).
@@ -157,6 +168,7 @@ class SimNetwork {
   TimePoint medium_free_at_ = 0;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t messages_sent_ = 0;
+  std::uint64_t batches_sent_ = 0;  // coalesced frames (transmit_batch calls)
 };
 
 }  // namespace corona

@@ -66,9 +66,11 @@ void GroupStore::install_checkpoint(GroupId id, SeqNo base_seq,
   log.drop_prefix(covered);
 }
 
-void GroupStore::flush() {
+std::size_t GroupStore::flush() {
   checkpoints_.flush();
-  for (auto& [id, g] : groups_) g.log.flush();
+  std::size_t committed = 0;
+  for (auto& [id, g] : groups_) committed += g.log.flush();
+  return committed;
 }
 
 void GroupStore::crash() {
@@ -131,6 +133,12 @@ std::uint64_t GroupStore::pending_bytes() const {
   std::uint64_t b = 0;
   for (const auto& [id, g] : groups_) b += g.log.pending_bytes();
   return b;
+}
+
+std::size_t GroupStore::pending_records() const {
+  std::size_t n = 0;
+  for (const auto& [id, g] : groups_) n += g.log.unflushed();
+  return n;
 }
 
 std::uint64_t GroupStore::log_records(GroupId id) const {

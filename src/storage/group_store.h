@@ -56,8 +56,9 @@ class GroupStore {
   void install_checkpoint(GroupId id, SeqNo base_seq,
                           const std::vector<StateEntry>& snapshot);
 
-  // Durability control.
-  void flush();
+  // Durability control.  flush() returns the number of log records the call
+  // committed across all groups — the commit-group size for this flush.
+  std::size_t flush();
   void crash();
 
   // Reads the durable view back, as a restarted server would.
@@ -66,6 +67,8 @@ class GroupStore {
   // Bytes that the next flush would push to the device; the sim charges this
   // against the disk model.
   std::uint64_t pending_bytes() const;
+  // Log records the next flush would commit.
+  std::size_t pending_records() const;
   std::uint64_t log_records(GroupId id) const;
   std::uint64_t log_bytes() const;
 

@@ -9,11 +9,18 @@ void StableLog::append(Bytes record) {
   records_.push_back(std::move(record));
 }
 
-void StableLog::flush() {
+std::size_t StableLog::flush() {
+  const std::size_t committed = records_.size() - durable_count_;
   for (std::size_t i = durable_count_; i < records_.size(); ++i) {
     bytes_flushed_ += records_[i].size();
   }
   durable_count_ = records_.size();
+  if (committed > 0) {
+    ++commits_;
+    records_flushed_ += committed;
+    max_commit_records_ = std::max(max_commit_records_, committed);
+  }
+  return committed;
 }
 
 void StableLog::crash() {

@@ -26,8 +26,11 @@ class StableLog {
   // after the next flush().
   void append(Bytes record);
 
-  // Makes every appended record durable.
-  void flush();
+  // Makes every appended record durable.  Returns the number of records the
+  // call committed — the size of the commit group.  A group commit (one
+  // flush covering a whole batch of appends) pays the device's fixed per-op
+  // cost once for all of them; callers forward the count to the disk model.
+  std::size_t flush();
 
   // Fail-stop crash: the unflushed tail vanishes.  The live view becomes the
   // durable view (what a restarted process would recover).
@@ -47,11 +50,20 @@ class StableLog {
   // Bytes appended since the last flush (what the next flush would write).
   std::uint64_t pending_bytes() const;
 
+  // Group-commit accounting: flushes that committed at least one record,
+  // total records those flushes covered, and the largest single commit group.
+  std::uint64_t commits() const { return commits_; }
+  std::uint64_t records_flushed() const { return records_flushed_; }
+  std::size_t max_commit_records() const { return max_commit_records_; }
+
  private:
   std::vector<Bytes> records_;
   std::size_t durable_count_ = 0;
   std::uint64_t bytes_appended_ = 0;
   std::uint64_t bytes_flushed_ = 0;
+  std::uint64_t commits_ = 0;
+  std::uint64_t records_flushed_ = 0;
+  std::size_t max_commit_records_ = 0;
 };
 
 }  // namespace corona

@@ -126,6 +126,56 @@ TEST(CheckExplore, RelaxedSearchWithoutMutationIsQuiet) {
   EXPECT_FALSE(result.found) << result.report;
 }
 
+// Batched fan-out under exploration: with the server batch queue on the
+// bounded DFS (including crash/partition schedules) must stay quiet — batch
+// boundaries introduce no (group, seq) gaps or reorders at any client.
+TEST(CheckExplore, BatchedDfsSingleServerIsQuiet) {
+  WorldOptions world;
+  world.batch_max_msgs = 4;
+  ExplorerOptions options;
+  options.max_schedules = 400;
+  options.max_decisions = 16;
+  const auto result = Explorer(world, options).explore();
+  EXPECT_FALSE(result.found) << result.report;
+  EXPECT_GE(result.stats.schedules, 10u);
+}
+
+TEST(CheckExplore, BatchedDfsReplicatedIsQuiet) {
+  WorldOptions world;
+  world.mode = WorldOptions::Mode::kReplicated;
+  world.batch_max_msgs = 4;
+  ExplorerOptions options;
+  options.max_schedules = 60;
+  options.max_decisions = 12;
+  const auto result = Explorer(world, options).explore();
+  EXPECT_FALSE(result.found) << result.report;
+  EXPECT_GE(result.stats.schedules, 5u);
+}
+
+// The batch mutation: the server drops the tail record of every coalesced
+// frame, clients run without gap detection, and the batch-boundary oracle
+// must see the seq jump.  Replay of the violating trace is byte-identical.
+TEST(CheckExplore, SeededBatchTailDropIsCaught) {
+  WorldOptions world;
+  world.seed_batch_bug = true;
+  ExplorerOptions options;
+  options.max_decisions = 30;
+  options.max_schedules = 2000;
+  Explorer explorer(world, options);
+  const auto result = explorer.explore();
+  ASSERT_TRUE(result.found) << "bounded search missed the planted batch bug "
+                            << "after " << result.stats.schedules
+                            << " schedules";
+  EXPECT_NE(result.report.find("batch-boundary violation"), std::string::npos)
+      << result.report;
+  const RunResult first = explorer.run_one(result.trace);
+  const RunResult second = explorer.run_one(result.trace);
+  EXPECT_TRUE(first.violated);
+  EXPECT_EQ(first.report, second.report);
+  EXPECT_EQ(first.steps, second.steps);
+  EXPECT_EQ(first.deliveries, second.deliveries);
+}
+
 // Fault injection actually runs: the bounded DFS reaches schedules that
 // spend the crash and partition budgets, and those runs stay quiet too —
 // crash recovery (restart + rejoin + resend) and partition healing keep the

@@ -229,6 +229,97 @@ TEST(SocketLoopback, FullSessionOverRealTcp) {
   server_rt.stop();
 }
 
+// Batched fan-out over real TCP: the server coalesces deliveries into
+// multi-frame gathered writes, and a client severed *mid-batch* — the
+// connection dies while coalesced frames are still being pushed — resyncs
+// via retransmission to the exact unacked suffix.  A torn batch would show
+// up as a duplicate, a gap, or a divergent journal.
+TEST(SocketLoopback, BatchedFanoutSurvivesMidBatchDisconnect) {
+  SocketRuntime server_rt;
+  GroupStore store;
+  ServerConfig scfg;
+  scfg.batch_max_msgs = 8;
+  scfg.batch_max_delay = 20 * kMillisecond;
+  CoronaServer server(scfg, &store);
+  server_rt.add_node(kServerId, &server);
+  auto port = server_rt.listen("127.0.0.1", 0);
+  ASSERT_TRUE(port.is_ok()) << port.status().to_string();
+  server_rt.start();
+
+  ClientProc c0(NodeId{100}, port.value());
+  ClientProc c1(NodeId{101}, port.value());
+  // The victim gets a long redial backoff so its offline window straddles
+  // whole batches, not just single frames.
+  SocketRuntimeConfig slow_redial;
+  slow_redial.reconnect_backoff_min = 500 * kMillisecond;
+  ClientProc c2(NodeId{102}, port.value(), slow_redial);
+  ASSERT_TRUE(wait_until([&] { return server_rt.stats().accepts >= 3; }));
+
+  c0.client->create_group(kG, "g", true);
+  ASSERT_TRUE(wait_until([&] { return c0.replies() >= 1; }));
+  c0.client->join(kG);
+  c1.client->join(kG);
+  c2.client->join(kG);
+  ASSERT_TRUE(wait_until(
+      [&] { return c0.joins() == 1 && c1.joins() == 1 && c2.joins() == 1; }));
+
+  // --- warm burst: back-to-back sends fill the batch queue, so fan-out
+  // frames leave in gathered writes ---
+  constexpr std::size_t kWarm = 40;
+  for (std::size_t i = 0; i < kWarm; ++i) {
+    c0.client->bcast_update(kG, kObj, to_bytes("w"));
+  }
+  ASSERT_TRUE(wait_until([&] {
+    return c0.journal_size() >= kWarm && c1.journal_size() >= kWarm &&
+           c2.journal_size() >= kWarm;
+  }));
+  EXPECT_GE(server_rt.stats().writev_calls, 1u);
+  EXPECT_GE(server_rt.stats().frames_coalesced, 2u)
+      << "no fan-out frame was ever coalesced into a gathered write";
+
+  // --- sever c2 mid-stream, then push two more batches while it is gone ---
+  const auto disconnects_before = server_rt.stats().disconnects;
+  server_rt.drop_connection(NodeId{102});
+  ASSERT_TRUE(wait_until(
+      [&] { return server_rt.stats().disconnects > disconnects_before; }));
+  constexpr std::size_t kLost = 16;
+  for (std::size_t i = 0; i < kLost; ++i) {
+    c0.client->bcast_update(kG, kObj, to_bytes("lost"));
+  }
+  ASSERT_TRUE(wait_until([&] {
+    return c0.journal_size() >= kWarm + kLost &&
+           c1.journal_size() >= kWarm + kLost;
+  }));
+  EXPECT_LT(c2.journal_size(), kWarm + kLost)
+      << "c2 was supposed to be offline";
+
+  // --- redial, nudge, resync: exactly the unacked suffix comes back ---
+  ASSERT_TRUE(wait_until(
+      [&] { return c2.rt.stats().connects_ok >= 2; }, 60 * kSecond));
+  c0.client->bcast_update(kG, kObj, to_bytes("after"));
+  ASSERT_TRUE(wait_until(
+      [&] { return c2.journal_size() >= kWarm + kLost + 1; }));
+  EXPECT_GE(c2.client->gaps_detected(), 1u);
+
+  const auto j0 = c0.journal_copy();
+  const auto j2 = c2.journal_copy();
+  EXPECT_EQ(j2, j0) << "resynced client diverged from the total order";
+  for (std::size_t i = 1; i < j2.size(); ++i) {
+    ASSERT_EQ(j2[i - 1] + 1, j2[i])
+        << "duplicate or gap at delivery " << i
+        << " — resync replayed something other than the unacked suffix";
+  }
+
+  c2.rt.stop();
+  c1.rt.stop();
+  c0.rt.stop();
+  server_rt.stop();
+  // The loop thread is joined; server counters are safe to read now.
+  EXPECT_GE(server.stats().batches_sequenced, 1u);
+  EXPECT_GE(server.stats().batch_frames_sent, 1u)
+      << "batching was configured but no coalesced frame was sent";
+}
+
 TEST(SocketLoopback, StatelessServerSequencesOverSockets) {
   // The Figure-3 stateless configuration deploys over TCP unchanged too.
   SocketRuntime server_rt;

@@ -12,21 +12,42 @@ Usage:
 
 With --compare the freshly-measured metrics are checked against a recorded
 baseline and the run fails (exit 1) if any direction-known metric regressed
-by more than --threshold percent (default 25).  Metric direction is inferred
-from the key: *_ms / *_pct / *slope* are lower-is-better, *per_sec* is
-higher-is-better, anything else is reported informationally and never
-fails the run.  The baseline file is left untouched in compare mode unless
---out names a different path.
+beyond its threshold.  Metric direction is inferred from the key: *_ms /
+*_pct / *slope* are lower-is-better, *per_sec* is higher-is-better, anything
+else is reported informationally and never fails the run.
+
+Thresholds are per-metric.  A baseline file may carry a top-level
+`_thresholds` section mapping fnmatch patterns over "bench.metric" names to
+a regression percentage; the longest (most specific) matching pattern wins:
+
+    "_thresholds": {
+      "ablation_batching.speedup_batch64_vs_1": 2.0,
+      "ablation_batching.*": 10.0
+    }
+
+Metrics with no matching pattern fall back to --threshold (default 25).
+The `_thresholds` section is not a bench: it is skipped when comparing and
+carried over verbatim when --out records fresh numbers.  The baseline file
+is left untouched in compare mode unless --out names a different path.
 """
 
 import argparse
+import fnmatch
 import json
 import os
 import subprocess
 import sys
 import tempfile
 
-BENCHES = ["fig3_roundtrip", "table1_throughput", "table2_replicated"]
+BENCHES = [
+    "fig3_roundtrip",
+    "table1_throughput",
+    "table2_replicated",
+    "ablation_batching",
+]
+
+# Reserved top-level baseline key holding per-metric thresholds, not metrics.
+THRESHOLDS_KEY = "_thresholds"
 
 
 def repo_root() -> str:
@@ -75,17 +96,36 @@ def run_bench(binary: str, timeout_s: int) -> dict:
 
 def metric_direction(key: str) -> str | None:
     """'lower' / 'higher' when the key names a known-direction metric."""
-    if "per_sec" in key:
+    if "per_sec" in key or "speedup" in key:
         return "higher"
     if key.endswith("_ms") or "_ms" in key or "_pct" in key or "slope" in key:
         return "lower"
     return None
 
 
-def compare_metrics(baseline: dict, fresh: dict, threshold_pct: float) -> int:
+def threshold_for(
+    bench: str, key: str, thresholds: dict, default_pct: float
+) -> float:
+    """Most-specific (longest) fnmatch pattern over 'bench.metric' wins."""
+    name = f"{bench}.{key}"
+    best_pattern = None
+    for pattern in thresholds:
+        if fnmatch.fnmatchcase(name, pattern):
+            if best_pattern is None or len(pattern) > len(best_pattern):
+                best_pattern = pattern
+    if best_pattern is None:
+        return default_pct
+    return float(thresholds[best_pattern])
+
+
+def compare_metrics(
+    baseline: dict, fresh: dict, threshold_pct: float, thresholds: dict
+) -> int:
     """Prints a per-metric comparison; returns the regression count."""
     regressions = 0
     for bench in sorted(set(baseline) | set(fresh)):
+        if bench == THRESHOLDS_KEY:
+            continue
         if bench not in baseline or bench not in fresh:
             side = "baseline" if bench in baseline else "fresh run"
             print(f"[compare] {bench}: only in {side} — skipped")
@@ -103,18 +143,19 @@ def compare_metrics(baseline: dict, fresh: dict, threshold_pct: float) -> int:
             direction = metric_direction(key)
             if direction is None or abs(old) < 1e-9:
                 continue
+            metric_threshold = threshold_for(bench, key, thresholds, threshold_pct)
             delta_pct = (new - old) / abs(old) * 100.0
             regressed = (
-                delta_pct > threshold_pct
+                delta_pct > metric_threshold
                 if direction == "lower"
-                else -delta_pct > threshold_pct
+                else -delta_pct > metric_threshold
             )
             if regressed:
                 regressions += 1
                 print(f"[compare] REGRESSION {bench}.{key}: "
                       f"{old:g} -> {new:g} ({delta_pct:+.1f}%, "
-                      f"{direction}-is-better, threshold {threshold_pct:g}%)")
-            elif abs(delta_pct) > threshold_pct:
+                      f"{direction}-is-better, threshold {metric_threshold:g}%)")
+            elif abs(delta_pct) > metric_threshold:
                 # Large move in the *good* direction: worth a line, not a
                 # failure (often a machine/load artifact).
                 print(f"[compare] improved   {bench}.{key}: "
@@ -131,8 +172,10 @@ def main() -> int:
     )
     parser.add_argument(
         "--out",
-        default=os.path.join(repo_root(), "BENCH_socket_baseline.json"),
-        help="merged output path (default: BENCH_socket_baseline.json)",
+        default=None,
+        help="merged output path (default: BENCH_socket_baseline.json when "
+        "recording; in --compare mode nothing is written unless --out is "
+        "given explicitly)",
     )
     parser.add_argument(
         "--timeout",
@@ -150,17 +193,36 @@ def main() -> int:
         "--threshold",
         type=float,
         default=25.0,
-        help="regression threshold in percent for --compare (default: 25)",
+        help="fallback regression threshold in percent for --compare when no "
+        "baseline `_thresholds` pattern matches (default: 25)",
+    )
+    parser.add_argument(
+        "--benches",
+        metavar="NAME[,NAME...]",
+        help="comma-separated subset of benches to run "
+        f"(default: {','.join(BENCHES)})",
     )
     args = parser.parse_args()
 
+    benches = BENCHES
+    if args.benches:
+        benches = [b.strip() for b in args.benches.split(",") if b.strip()]
+        unknown = [b for b in benches if b not in BENCHES]
+        if unknown:
+            raise RuntimeError(
+                f"unknown bench(es): {', '.join(unknown)} "
+                f"(known: {', '.join(BENCHES)})"
+            )
+
     baseline = None
+    thresholds = {}
     if args.compare:
         with open(args.compare, "r", encoding="utf-8") as f:
             baseline = json.load(f)
+        thresholds = baseline.get(THRESHOLDS_KEY, {})
 
     merged = {}
-    for name in BENCHES:
+    for name in benches:
         binary = find_binary(args.build_dir, name)
         print(f"[run_benches] running {name} ...", flush=True)
         result = run_bench(binary, args.timeout)
@@ -172,22 +234,29 @@ def main() -> int:
         print(f"[run_benches]   {len(metrics)} metrics", flush=True)
 
     if baseline is not None:
-        regressions = compare_metrics(baseline, merged, args.threshold)
-        # Don't clobber the baseline we just compared against; an explicit
-        # different --out still records the fresh numbers.
-        if os.path.abspath(args.out) != os.path.abspath(args.compare):
+        regressions = compare_metrics(baseline, merged, args.threshold,
+                                      thresholds)
+        # Compare mode never clobbers a baseline implicitly; an explicit
+        # --out (different from the compared file) records the fresh
+        # numbers, with the baseline's thresholds carried over.
+        if args.out and os.path.abspath(args.out) != os.path.abspath(
+                args.compare):
+            if thresholds:
+                merged[THRESHOLDS_KEY] = thresholds
             with open(args.out, "w", encoding="utf-8") as f:
                 json.dump(merged, f, indent=2, sort_keys=True)
                 f.write("\n")
             print(f"[run_benches] wrote {args.out} ({len(merged)} benches)")
         if regressions:
             print(f"[run_benches] FAIL: {regressions} metric(s) regressed "
-                  f"beyond {args.threshold:g}%")
+                  "beyond threshold")
             return 1
-        print(f"[run_benches] compare OK: no metric regressed beyond "
-              f"{args.threshold:g}%")
+        print("[run_benches] compare OK: no metric regressed beyond its "
+              f"threshold (fallback {args.threshold:g}%)")
         return 0
 
+    if args.out is None:
+        args.out = os.path.join(repo_root(), "BENCH_socket_baseline.json")
     with open(args.out, "w", encoding="utf-8") as f:
         json.dump(merged, f, indent=2, sort_keys=True)
         f.write("\n")
