@@ -181,6 +181,18 @@ void CoronaClient::on_timer(std::uint64_t tag) {
 // Message handling
 // ---------------------------------------------------------------------------
 
+// Client dispatch surface: every MsgType must be handled below or waived.
+// lint-dispatch: MsgType
+// dispatch-ignore: kInvalid -- sentinel; the decoder rejects it upstream
+// dispatch-ignore: kCreateGroup kDeleteGroup kJoin kLeave -- sent via make_*
+// dispatch-ignore: kGetMembership kBcastState kBcastUpdate -- sent via make_*
+// dispatch-ignore: kLockRequest kLockRelease kReduceLog -- sent via make_*
+// dispatch-ignore: kHeartbeat -- sent via make_heartbeat, never received
+// dispatch-ignore: kServerHello kFwdMulticast kSeqMulticast -- server tier
+// dispatch-ignore: kGroupOp kGroupOpResult kHeartbeatAck -- server tier
+// dispatch-ignore: kServerList kElectionClaim kElectionVote -- server tier
+// dispatch-ignore: kCoordAnnounce kBackupAssign -- server tier
+// dispatch-ignore: kDigestRequest kDigestReply -- server tier
 void CoronaClient::on_message(NodeId from, const Message& m) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   (void)from;

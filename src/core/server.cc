@@ -146,6 +146,16 @@ void CoronaServer::on_timer(std::uint64_t tag) {
   }
 }
 
+// Role dispatch surface: every MsgType must be handled below or waived.
+// lint-dispatch: MsgType
+// dispatch-ignore: kInvalid -- sentinel; the decoder rejects it upstream
+// dispatch-ignore: kReply kDeliver -- emitted by this role, never received
+// dispatch-ignore: kServerHello kFwdMulticast kSeqMulticast -- replica tier
+// dispatch-ignore: kGroupOp kGroupOpResult kHeartbeatAck -- replica tier
+// dispatch-ignore: kServerList kElectionClaim kElectionVote -- replica tier
+// dispatch-ignore: kCoordAnnounce kBackupAssign -- replica tier
+// dispatch-ignore: kResendRequest -- sent to clients, never received
+// dispatch-ignore: kDigestRequest kDigestReply -- replica anti-entropy only
 void CoronaServer::process(NodeId from, const Message& m) {
   switch (m.type) {
     case MsgType::kCreateGroup: handle_create(from, m); break;

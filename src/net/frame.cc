@@ -8,6 +8,8 @@ namespace corona::net {
 namespace {
 
 // Prepends the 4-byte little-endian length to (kind + body).
+// Frame codec: every FrameKind must be encodable and decodable here.
+// lint-dispatch: FrameKind
 Bytes finish_frame(FrameKind kind, const Bytes& body) {
   const std::size_t len = 1 + body.size();
   Bytes out;

@@ -691,6 +691,8 @@ void SocketRuntime::on_readable(Conn& c) {
   if (eof && !c.dead) mark_dead(c);
 }
 
+// Frame-loop dispatch surface: every FrameKind must be handled below.
+// lint-dispatch: FrameKind
 void SocketRuntime::handle_frame(Conn& c, Frame frame) {
   counters_.frames_received.fetch_add(1);
   switch (frame.kind) {

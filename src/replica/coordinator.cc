@@ -326,6 +326,15 @@ void ReplicaServer::coord_send_result(NodeId leaf, const Message& original,
   send(leaf, r);
 }
 
+// Coordinator op dispatch (fwd_type of forwarded client operations): every
+// MsgType must be handled below or waived.
+// lint-dispatch: MsgType
+// dispatch-ignore: kGetMembership kBcastState kBcastUpdate -- leaf-served;
+//   membership reads and multicasts never arrive as forwarded group ops
+// dispatch-ignore: kReply kJoinReply kMembershipInfo kDeliver -- emitted only
+// dispatch-ignore: kServerHello kHeartbeat kHeartbeatAck -- membership layer
+// dispatch-ignore: kServerList kElectionClaim kElectionVote -- election layer
+// dispatch-ignore: kCoordAnnounce kResendRequest -- membership layer
 void ReplicaServer::coord_handle_group_op(NodeId from, const Message& m) {
   if (!is_coordinator()) return;
   // During a takeover, operations on groups whose state is still being

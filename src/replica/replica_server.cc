@@ -99,6 +99,11 @@ std::vector<NodeId> ReplicaServer::coord_holders(GroupId g) const {
 // Routing
 // ---------------------------------------------------------------------------
 
+// Replica dispatch surface: every MsgType must be handled below or waived.
+// lint-dispatch: MsgType
+// dispatch-ignore: kInvalid -- sentinel; the decoder rejects it upstream
+// dispatch-ignore: kReply kDeliver -- emitted to clients, never received
+// dispatch-ignore: kResendRequest -- sent to clients, handled client-side
 void ReplicaServer::on_message(NodeId from, const Message& m) {
   if (from == coordinator_) coord_fd_.heard_from(from, now());
   if (is_coordinator()) leaf_fd_.heard_from(from, now());

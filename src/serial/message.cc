@@ -5,6 +5,9 @@
 
 namespace corona {
 
+// Serializer kind list: the wire-name table below must cover every MsgType;
+// the dispatch-exhaustiveness lint cross-checks role dispatch against it.
+// lint-dispatch: MsgType
 const char* msg_type_name(MsgType t) {
   switch (t) {
     case MsgType::kInvalid: return "invalid";

@@ -12,6 +12,7 @@ namespace {
 
 using testing::client_id;
 using testing::kServerId;
+using testing::SingleServerWorld;
 
 const GroupId kG{1};
 const ObjectId kObj{1};
@@ -168,6 +169,65 @@ TEST_F(ClientFailureWorld, ReconnectAfterCrashGetsFullState) {
   ASSERT_NE(fresh->group_state(kG), nullptr);
   EXPECT_EQ(to_string(*fresh->group_state(kG)->object(kObj)), "pre;");
   clients[1] = std::move(fresh);
+}
+
+TEST(ClientGapDetection, OutOfOrderDeliveryIsHeldNotApplied) {
+  testing::SingleServerWorld w(1);
+  w.client(0).create_group(kG, "g", /*persistent=*/false);
+  w.settle();
+  w.client(0).join(kG);
+  w.settle();
+  w.client(0).bcast_update(kG, kObj, to_bytes("a"));
+  w.settle();
+  ASSERT_EQ(w.client(0).expected_seq(kG), SeqNo{2});
+  const std::uint64_t delivered = w.client(0).deliveries_received();
+
+  // Inject a delivery that skips a sequence number, as a reordering or lossy
+  // transport would.  The client must hold it back (and ask the server for
+  // the gap) rather than applying it out of order.
+  UpdateRecord rec;
+  rec.seq = 3;  // gap: seq 2 never arrived
+  rec.object = ObjectId{7};
+  rec.data = to_bytes("future");
+  rec.sender = client_id(0);
+  w.client(0).on_message(kServerId, make_deliver(kG, rec));
+
+  EXPECT_EQ(w.client(0).expected_seq(kG), SeqNo{2});
+  EXPECT_EQ(w.client(0).deliveries_received(), delivered);
+  EXPECT_FALSE(w.client(0).group_state(kG)->has_object(ObjectId{7}));
+}
+
+TEST(ClientRecovery, LeaveDiscardsTheResendBuffer) {
+  // The recovery resend buffer dies with the membership.  If it survived a
+  // leave, a later kResendRequest could re-submit updates from a previous
+  // incarnation of the group — and a recreated group (fresh dedup set)
+  // would sequence them as brand-new traffic.
+  SingleServerWorld w(1);
+  w.client(0).create_group(kG, "g", /*persistent=*/false);
+  w.settle();
+  w.client(0).join(kG);
+  w.settle();
+  w.client(0).bcast_update(kG, kObj, to_bytes("stale"));
+  w.settle();
+  w.client(0).leave(kG);  // transient group dies with its last member
+  w.settle();
+
+  w.client(0).create_group(kG, "g2", /*persistent=*/false);
+  w.settle();
+  w.client(0).join(kG);
+  w.settle();
+  const std::uint64_t sequenced = w.server->stats().messages_sequenced;
+
+  // Server-initiated crash-recovery probe for the recreated group.
+  Message probe;
+  probe.type = MsgType::kResendRequest;
+  probe.group = kG;
+  w.client(0).on_message(kServerId, probe);
+  w.settle();
+
+  EXPECT_EQ(w.server->stats().messages_sequenced, sequenced);
+  EXPECT_EQ(w.server->stats().resends_applied, 0u);
+  EXPECT_FALSE(w.client(0).group_state(kG)->has_object(kObj));
 }
 
 }  // namespace

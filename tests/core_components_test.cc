@@ -397,5 +397,53 @@ TEST(QosScheduler, DepthAndCounters) {
   EXPECT_EQ(q.depth(), 1u);
 }
 
+TEST(QosScheduler, ShedThresholdIsAnInclusiveBound) {
+  // depth == shed_threshold is still acceptable load; shedding starts only
+  // when the backlog strictly exceeds it.
+  QosScheduler::Config cfg;
+  cfg.shed_threshold = 3;
+  QosScheduler q(cfg);
+  for (int i = 0; i < 3; ++i) q.enqueue(NodeId{100}, bcast_for(GroupId{1}));
+  EXPECT_EQ(q.shed(), 0u);
+  EXPECT_EQ(q.depth(), 3u);
+  q.enqueue(NodeId{100}, bcast_for(GroupId{1}));
+  EXPECT_EQ(q.shed(), 1u);
+  EXPECT_EQ(q.depth(), 3u);
+}
+
+TEST(QosScheduler, PromotionClimbsExactlyOneClassPerAging) {
+  // A class-2 message must pass through class 1 on its way up: two aging
+  // rounds, two promotions.  Jumping straight to class 0 would let bulk
+  // traffic leapfrog the interactive class.
+  QosScheduler::Config cfg;
+  cfg.aging_limit = 1;
+  QosScheduler q(cfg);
+  q.set_group_class(GroupId{1}, 0);
+  q.set_group_class(GroupId{2}, 2);
+  q.enqueue(NodeId{100}, bcast_for(GroupId{2}));  // waits in class 2
+  q.enqueue(NodeId{100}, bcast_for(GroupId{1}));
+  q.enqueue(NodeId{100}, bcast_for(GroupId{1}));
+
+  ASSERT_EQ(q.dequeue()->msg.group, GroupId{1});  // ages 2 -> promotes to 1
+  EXPECT_EQ(q.promoted(), 1u);
+  ASSERT_EQ(q.dequeue()->msg.group, GroupId{1});  // ages 1 -> promotes to 0
+  EXPECT_EQ(q.promoted(), 2u);
+  auto last = q.dequeue();
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->msg.group, GroupId{2});
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(Group, InvariantCatchesHeadSeqCatchingUpToNextSeq) {
+  // next_seq_ is the next sequence number to hand out, so an applied record
+  // carrying it (head == next) means the sequencer double-issued — the
+  // invariant must flag equality, not just overshoot.
+  Group g(GroupMeta{GroupId{1}, "g", false});
+  g.state().load(1, {});  // head_seq == 1 == next_seq_
+  EXPECT_FALSE(g.check_invariants().ok());
+  g.set_next_seq(2);
+  EXPECT_TRUE(g.check_invariants().ok());
+}
+
 }  // namespace
 }  // namespace corona

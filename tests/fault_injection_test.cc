@@ -213,5 +213,31 @@ TEST(FaultInjection, IpMulticastCheaperThanPointToPointAtServer) {
   EXPECT_LT(mcast, p2p / 2);
 }
 
+TEST(FaultInjection, HealthyDonorNeverTripsTheFailurePath) {
+  // Peer-transfer joins lean on failure detection: a donor that answers
+  // kOk with its replica must complete the join on the fast path — zero
+  // timeouts, exactly one transfer.  Misreading a healthy donor's reply as
+  // a failure (or a donor misreading its own replica) silently degrades
+  // every join to the timeout path.
+  ServerConfig cfg;
+  cfg.join_transfer = JoinTransferMode::kPeer;
+  cfg.peer_timeout = 500 * kMillisecond;
+  SingleServerWorld w(2, std::move(cfg));
+  w.client(0).create_group(kG, "g", true);
+  w.settle();
+  w.client(0).join(kG);  // first member: no donor available, service serves
+  w.settle();
+  w.client(0).bcast_update(kG, kObj, to_bytes("donor-copy"));
+  w.settle();
+
+  w.client(1).join(kG);  // must be served by client 0's replica
+  w.rt.run_for(2 * kSecond);
+  ASSERT_TRUE(w.client(1).is_joined(kG));
+  EXPECT_EQ(to_string(*w.client(1).group_state(kG)->object(kObj)),
+            "donor-copy");
+  EXPECT_EQ(w.server->stats().peer_transfers, 1u);
+  EXPECT_EQ(w.server->stats().peer_timeouts, 0u);
+}
+
 }  // namespace
 }  // namespace corona

@@ -235,5 +235,42 @@ TEST(SocketFrame, LongStreamCompactsItsBuffer) {
   EXPECT_EQ(d.buffered_bytes(), 0u);
 }
 
+TEST(SocketFrame, MultiByteLengthPrefixDecodesExactly) {
+  // A body longer than 255 bytes puts a non-zero value in the second length
+  // byte; the little-endian decode must weight each byte correctly or the
+  // decoder desyncs from the stream.
+  Message m;
+  m.type = MsgType::kDeliver;
+  m.group = GroupId{7};
+  m.seq = 9;
+  m.text = std::string(300, 'x');
+  const Bytes wire = m.encode();
+  ASSERT_GT(wire.size(), 255u);
+
+  FrameDecoder d;
+  d.feed(BytesView(encode_message_frame(NodeId{3}, NodeId{4}, wire)));
+  Frame f;
+  ASSERT_EQ(d.next(&f), FrameDecoder::Next::kFrame);
+  EXPECT_EQ(f.kind, FrameKind::kMessage);
+  EXPECT_EQ(f.message_wire, wire);
+  EXPECT_EQ(d.next(&f), FrameDecoder::Next::kNeedMore);
+  EXPECT_EQ(d.buffered_bytes(), 0u);
+}
+
+TEST(SocketFrame, FrameExactlyAtTheCeilingIsAccepted) {
+  // The ceiling is inclusive: a ping frame is exactly one byte of body, so a
+  // decoder capped at one byte must still accept it (and reject two).
+  FrameDecoder exact(1);
+  exact.feed(BytesView(encode_ping_frame()));
+  Frame f;
+  ASSERT_EQ(exact.next(&f), FrameDecoder::Next::kFrame);
+  EXPECT_EQ(f.kind, FrameKind::kPing);
+  EXPECT_FALSE(exact.corrupt());
+
+  FrameDecoder tight(1);
+  tight.feed(BytesView(encode_hello_frame({NodeId{1}})));  // body > 1 byte
+  EXPECT_EQ(tight.next(&f), FrameDecoder::Next::kCorrupt);
+}
+
 }  // namespace
 }  // namespace corona::net

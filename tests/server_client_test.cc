@@ -2,6 +2,8 @@
 // deterministic engine: the full client protocol of paper §3.
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "harness.h"
 
 namespace corona {
@@ -570,6 +572,120 @@ TEST(ServerClient, QosSchedulingPrefersHighPriorityGroup) {
   EXPECT_TRUE(w.client(0).group_state(hi)->has_object(kObj));
   EXPECT_TRUE(w.client(0).group_state(lo)->has_object(kObj));
   EXPECT_EQ(w.server->stats().messages_sequenced, 2u);
+}
+
+TEST(ServerClient, BatchedFanoutNeedsNoRetransmits) {
+  ServerConfig cfg;
+  cfg.batch_max_msgs = 4;
+  cfg.batch_max_delay = 3 * kMillisecond;
+  SingleServerWorld w(3, std::move(cfg));
+  w.client(0).create_group(kG, "batched", false);
+  w.settle();
+  for (int c : {0, 1, 2}) w.client(c).join(kG);
+  w.settle();
+  // Burst of updates inside one window so the sequencer drains them as
+  // coalesced batches and the fan-out emits multi-record client frames.
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    w.client(i % 3).bcast_update(kG, ObjectId{i + 1},
+                                 to_bytes("v" + std::to_string(i)));
+  }
+  w.settle();
+  EXPECT_GT(w.server->stats().batched_messages, 0u);
+  for (int c : {0, 1, 2}) {
+    EXPECT_EQ(w.client(c).expected_seq(kG), SeqNo{13}) << c;
+    for (std::uint64_t i = 0; i < 12; ++i) {
+      EXPECT_TRUE(w.client(c).group_state(kG)->has_object(ObjectId{i + 1}))
+          << c << " missing object " << i + 1;
+    }
+  }
+  // On a lossless network the batched fan-out must be complete by itself: a
+  // dropped batch tail would only reach members via gap recovery, and that
+  // shows up here as a served retransmission.
+  EXPECT_EQ(w.server->stats().retransmits_served, 0u);
+}
+
+TEST(ServerClient, EveryDeniedRequestGetsAnErrorReply) {
+  // Authorization failures must be answered, never dropped: a silent denial
+  // leaves the client waiting forever.  Cover the create, join, and
+  // reduce-log denial paths separately.
+  SimRuntime rt;
+  GroupStore store;
+  AclSessionManager acl;
+  acl.allow_all_actions(client_id(0), GroupId{AclSessionManager::kAnyGroup});
+  // client 1 gets no rights at all
+  CoronaServer server(ServerConfig{}, &store, &acl);
+  rt.add_node(kServerId, &server, rt.network().add_host(HostProfile{}));
+
+  std::map<RequestId, Status> replies;
+  std::vector<Status> join_results;
+  CoronaClient::Callbacks cb;
+  cb.on_reply = [&](RequestId rid, Status s) { replies[rid] = s; };
+  cb.on_joined = [&](GroupId, Status s) { join_results.push_back(s); };
+  CoronaClient c0(kServerId);
+  CoronaClient c1(kServerId, cb);
+  rt.add_node(client_id(0), &c0, rt.network().add_host(HostProfile{}));
+  rt.add_node(client_id(1), &c1, rt.network().add_host(HostProfile{}));
+  rt.start();
+  rt.run_for(50 * kMillisecond);
+  c0.create_group(kG, "g", true);
+  rt.run_for(50 * kMillisecond);
+
+  const RequestId create_rid = c1.create_group(GroupId{9}, "nope", false);
+  const RequestId reduce_rid = c1.reduce_log(kG);
+  c1.join(kG);
+  rt.run_for(100 * kMillisecond);
+
+  ASSERT_TRUE(replies.count(create_rid));
+  EXPECT_EQ(replies[create_rid].code, Errc::kPermissionDenied);
+  ASSERT_TRUE(replies.count(reduce_rid));
+  EXPECT_EQ(replies[reduce_rid].code, Errc::kPermissionDenied);
+  ASSERT_EQ(join_results.size(), 1u);
+  EXPECT_EQ(join_results[0].code, Errc::kPermissionDenied);
+  EXPECT_FALSE(c1.is_joined(kG));
+}
+
+TEST(ServerClient, LeaveIsAcknowledged) {
+  // leave() is a request like any other: the server must ack it so the
+  // client can tell "left cleanly" from "request lost".
+  std::map<RequestId, Status> replies;
+  CoronaClient::Callbacks cb;
+  cb.on_reply = [&](RequestId rid, Status s) { replies[rid] = s; };
+  SingleServerWorld w(1, ServerConfig{}, cb);
+  w.client(0).create_group(kG, "g", true);
+  w.settle();
+  w.client(0).join(kG);
+  w.settle();
+  const RequestId rid = w.client(0).leave(kG);
+  w.settle();
+  ASSERT_TRUE(replies.count(rid));
+  EXPECT_TRUE(replies[rid].ok());
+  EXPECT_FALSE(w.client(0).is_joined(kG));
+}
+
+TEST(ServerClient, StatelessMembershipQueryListsMembers) {
+  SimRuntime rt;
+  StatelessServer server;
+  rt.add_node(kServerId, &server, rt.network().add_host(HostProfile{}));
+  std::vector<std::vector<MemberInfo>> infos;
+  CoronaClient::Callbacks cb;
+  cb.on_membership_info = [&](GroupId g, const std::vector<MemberInfo>& m) {
+    if (g == kG) infos.push_back(m);
+  };
+  CoronaClient c0(kServerId, cb);
+  CoronaClient c1(kServerId);
+  rt.add_node(client_id(0), &c0, rt.network().add_host(HostProfile{}));
+  rt.add_node(client_id(1), &c1, rt.network().add_host(HostProfile{}));
+  rt.start();
+  rt.run_until_idle();
+  c0.create_group(kG, "g", false);
+  rt.run_until_idle();
+  c0.join(kG);
+  c1.join(kG);
+  rt.run_until_idle();
+  c0.get_membership(kG);
+  rt.run_until_idle();
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_EQ(infos[0].size(), 2u);
 }
 
 }  // namespace

@@ -432,5 +432,53 @@ TEST(SocketLoopback, ServerUnreachableThenReachable) {
   server_rt.stop();
 }
 
+// Counts messages arriving at a node, independent of protocol role.
+struct SinkNode final : Node {
+  std::mutex mu;
+  std::vector<SeqNo> seqs;
+  void on_message(NodeId, const Message& m) override {
+    std::lock_guard<std::mutex> lock(mu);
+    seqs.push_back(m.seq);
+  }
+  std::size_t count() {
+    std::lock_guard<std::mutex> lock(mu);
+    return seqs.size();
+  }
+};
+
+TEST(SocketLoopback, BatchOfOneStillDelivers) {
+  // send_batch is the transport's public API, and a run of one message is a
+  // legal batch: it must take the single-frame fast path, not vanish.
+  SocketRuntime server_rt;
+  SinkNode sink;
+  server_rt.add_node(kServerId, &sink);
+  auto port = server_rt.listen("127.0.0.1", 0);
+  ASSERT_TRUE(port.is_ok()) << port.status().to_string();
+  server_rt.start();
+
+  SocketRuntime sender_rt;
+  SinkNode unused;
+  sender_rt.add_node(NodeId{100}, &unused);
+  sender_rt.set_peer_address(kServerId, Endpoint{"127.0.0.1", port.value()});
+  sender_rt.start();
+
+  Message one;
+  one.type = MsgType::kHeartbeat;
+  one.seq = 7;
+  sender_rt.send_batch(NodeId{100}, kServerId, {one});
+  ASSERT_TRUE(wait_until([&] { return sink.count() >= 1; }));
+
+  Message a = one, b = one;
+  a.seq = 8;
+  b.seq = 9;
+  sender_rt.send_batch(NodeId{100}, kServerId, {a, b});
+  ASSERT_TRUE(wait_until([&] { return sink.count() >= 3; }));
+
+  sender_rt.stop();
+  server_rt.stop();
+  EXPECT_EQ(sink.seqs, (std::vector<SeqNo>{7, 8, 9}));
+  EXPECT_EQ(server_rt.stats().messages_dropped, 0u);
+}
+
 }  // namespace
 }  // namespace corona::net

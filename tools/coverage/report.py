@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Aggregate gcov coverage for a CORONA_COVERAGE build tree.
+
+Usage:
+  cmake --preset coverage && cmake --build --preset coverage -j
+  ctest --preset coverage
+  python3 tools/coverage/report.py --build build/coverage
+
+Walks the build tree for .gcda counters, runs `gcov --json-format --stdout`
+on each, merges the per-TU records (a header inlined into five TUs counts as
+covered if ANY of them executed the line), and prints per-directory line and
+branch coverage for files under --filter (default: src/).  No gcovr/llvm-cov
+needed — plain gcov is enough.
+
+The table is the triage companion for MUTATION_REPORT.json: a surviving
+mutant on an uncovered line is a test-gap problem, not an oracle-strength
+problem (docs/ANALYSIS.md §7).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def find_gcda(build: str) -> list[str]:
+    out = []
+    for root, _, files in os.walk(build):
+        for f in files:
+            if f.endswith(".gcda"):
+                out.append(os.path.join(root, f))
+    return sorted(out)
+
+
+def gcov_json(gcda: str, gcov: str = "gcov") -> list[dict]:
+    """Runs gcov on one .gcda and yields the parsed JSON document(s)."""
+    proc = subprocess.run(
+        [gcov, "--json-format", "--stdout", "--branch-probabilities", gcda],
+        cwd=os.path.dirname(gcda), capture_output=True, text=True)
+    if proc.returncode != 0:
+        return []
+    docs = []
+    for chunk in proc.stdout.splitlines():
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        try:
+            docs.append(json.loads(chunk))
+        except json.JSONDecodeError:
+            continue
+    if not docs and proc.stdout.strip():
+        try:
+            docs.append(json.loads(proc.stdout))
+        except json.JSONDecodeError:
+            pass
+    return docs
+
+
+class Merged:
+    """Per-file merge across translation units."""
+
+    def __init__(self) -> None:
+        self.lines: dict[str, dict[int, int]] = {}
+        self.branches: dict[str, dict[tuple[int, int], int]] = {}
+
+    def add_file_record(self, rel: str, record: dict) -> None:
+        lines = self.lines.setdefault(rel, {})
+        branches = self.branches.setdefault(rel, {})
+        for ln in record.get("lines", []):
+            no = ln.get("line_number")
+            if no is None:
+                continue
+            count = int(ln.get("count", 0))
+            lines[no] = max(lines.get(no, 0), count)
+            for idx, br in enumerate(ln.get("branches", [])):
+                key = (no, idx)
+                bcount = int(br.get("count", 0))
+                branches[key] = max(branches.get(key, 0), bcount)
+
+
+def collect(build: str, repo: str, filt: str, gcov: str) -> Merged:
+    merged = Merged()
+    for gcda in find_gcda(build):
+        for doc in gcov_json(gcda, gcov):
+            for record in doc.get("files", []):
+                path = record.get("file", "")
+                if not os.path.isabs(path):
+                    path = os.path.normpath(
+                        os.path.join(os.path.dirname(gcda), path))
+                rel = os.path.relpath(path, repo).replace(os.sep, "/")
+                if rel.startswith("..") or not rel.startswith(filt):
+                    continue
+                merged.add_file_record(rel, record)
+    return merged
+
+
+def rollup(merged: Merged) -> dict[str, dict[str, int]]:
+    """Per-directory totals: {dir: {lines, lines_hit, branches,
+    branches_hit}}, plus a 'total' row."""
+    table: dict[str, dict[str, int]] = {}
+
+    def bucket(rel: str) -> str:
+        parts = rel.split("/")
+        return "/".join(parts[:2]) if len(parts) > 2 else parts[0]
+
+    for rel, lines in merged.lines.items():
+        row = table.setdefault(
+            bucket(rel),
+            {"lines": 0, "lines_hit": 0, "branches": 0, "branches_hit": 0})
+        row["lines"] += len(lines)
+        row["lines_hit"] += sum(1 for c in lines.values() if c > 0)
+        brs = merged.branches.get(rel, {})
+        row["branches"] += len(brs)
+        row["branches_hit"] += sum(1 for c in brs.values() if c > 0)
+
+    total = {"lines": 0, "lines_hit": 0, "branches": 0, "branches_hit": 0}
+    for row in table.values():
+        for k in total:
+            total[k] += row[k]
+    table["total"] = total
+    return table
+
+
+def pct(hit: int, total: int) -> str:
+    return f"{100.0 * hit / total:5.1f}%" if total else "   --"
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build", default="build/coverage")
+    ap.add_argument("--repo", default=".")
+    ap.add_argument("--filter", default="src/",
+                    help="only report files under this repo-relative prefix")
+    ap.add_argument("--gcov", default="gcov")
+    ap.add_argument("--json", metavar="PATH",
+                    help="also dump the rollup as JSON")
+    args = ap.parse_args(argv)
+
+    repo = os.path.abspath(args.repo)
+    build = os.path.abspath(args.build)
+    if not os.path.isdir(build):
+        print(f"coverage: no build tree at {build}", file=sys.stderr)
+        return 2
+    if not find_gcda(build):
+        print(f"coverage: no .gcda counters under {build} — build with the "
+              "coverage preset and run ctest first", file=sys.stderr)
+        return 2
+
+    merged = collect(build, repo, args.filter, args.gcov)
+    table = rollup(merged)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(table, f, indent=1, sort_keys=True)
+
+    print(f"{'directory':<16} {'lines':>12} {'line%':>7} "
+          f"{'branches':>12} {'branch%':>8}")
+    for name in sorted(k for k in table if k != "total") + ["total"]:
+        row = table[name]
+        print(f"{name:<16} {row['lines_hit']:>5}/{row['lines']:<6} "
+              f"{pct(row['lines_hit'], row['lines']):>7} "
+              f"{row['branches_hit']:>5}/{row['branches']:<6} "
+              f"{pct(row['branches_hit'], row['branches']):>8}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

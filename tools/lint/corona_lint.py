@@ -54,6 +54,22 @@ Rules (see docs/ANALYSIS.md for the full contract):
                  evaluation order.  Compute in integral microseconds, or
                  round immediately and waive.
 
+  dispatch-exhaustiveness
+                 files carrying a `// lint-dispatch: <Enum>` marker
+                 Every enumerator of the named enum (collected from the
+                 scanned tree, e.g. MsgType in serial/message.h, FrameKind
+                 in net/frame.h) must be referenced in the file
+                 (`Enum::kName`) or listed on a `// dispatch-ignore: kA kB
+                 -- why` line.  Adding a message type without handling it
+                 in every role's dispatch switch is a lint failure, not a
+                 silent drop into the default: arm.  Stale ignore entries
+                 (listed but referenced, or not an enumerator at all) are
+                 violations too, so waiver lists stay minimal.  The role
+                 files themselves (CoronaServer, client, ReplicaServer,
+                 Coordinator, the serializer's kind list, the SocketRuntime
+                 frame loop) are REQUIRED to carry the marker whenever the
+                 enum definition is in the scanned set.
+
 Waivers: append `// lint: <rule>-ok` to the offending line (or place it on
 the line directly above).  Several waivers may share one comment, e.g.
 `// lint: float-ok thread-ok`.  A file with a pervasive, justified
@@ -175,6 +191,24 @@ RULES = [
 UNORDERED_DECL_RE = re.compile(
     r"\bunordered_(?:map|set|multimap|multiset)\s*<"
 )
+ENUM_DEF_RE = re.compile(r"\benum\s+class\s+([A-Za-z_]\w*)")
+DISPATCH_MARKER_RE = re.compile(r"(?<![\w-])lint-dispatch:\s*([A-Za-z_]\w*)")
+DISPATCH_IGNORE_RE = re.compile(
+    r"(?<![\w-])dispatch-ignore:\s*([A-Za-z0-9_ ]+?)(?:--|$)")
+
+# Role files that MUST carry a lint-dispatch marker for the given enum
+# whenever that enum's definition is inside the scanned file set: the
+# dispatch surfaces of the paper's roles, plus the serializer's kind list
+# (the cross-check that wire names and dispatch agree on the enumerators).
+REQUIRED_DISPATCH_ROLES = {
+    "core/server.cc": "MsgType",            # CoronaServer::process
+    "core/client.cc": "MsgType",            # CoronaClient::on_message
+    "replica/replica_server.cc": "MsgType", # ReplicaServer::on_message
+    "replica/coordinator.cc": "MsgType",    # Coordinator fwd_type dispatch
+    "serial/message.cc": "MsgType",         # msg_type_name kind list
+    "net/socket_runtime.cc": "FrameKind",   # SocketRuntime::handle_frame
+    "net/frame.cc": "FrameKind",            # FrameDecoder::parse_body
+}
 RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;)]*:\s*(?:this->)?(\w+)\s*\)")
 BEGIN_CALL_RE = re.compile(r"\b(\w+)\s*\.\s*c?r?begin\s*\(")
 ERASE_CALL_RE = re.compile(r"\b(\w+)\s*\.\s*erase\s*\(")
@@ -300,6 +334,100 @@ def collect_unordered_names(files: list[str]) -> dict[str, set[str]]:
                 if ident:
                     names.setdefault(file_stem(path), set()).add(ident)
     return names
+
+
+def collect_enums(files: list[str]) -> dict[str, list[str]]:
+    """Maps each `enum class` name found in the scanned set to its
+    enumerator list (comments stripped, values ignored)."""
+    enums: dict[str, list[str]] = {}
+    for path in files:
+        try:
+            with open(path, encoding="utf-8", errors="replace") as f:
+                text = f.read()
+        except OSError:
+            continue
+        code = "\n".join(c for _, _, c in logical_lines(text))
+        for m in ENUM_DEF_RE.finditer(code):
+            open_brace = code.find("{", m.end())
+            if open_brace < 0:
+                continue
+            close = code.find("}", open_brace)  # enum bodies don't nest
+            if close < 0:
+                continue
+            body = code[open_brace + 1:close]
+            names = []
+            for piece in body.split(","):
+                ident = re.match(r"\s*([A-Za-z_]\w*)", piece)
+                if ident:
+                    names.append(ident.group(1))
+            if names:
+                enums[m.group(1)] = names
+    return enums
+
+
+def check_dispatch(path: str, text: str,
+                   enums: dict[str, list[str]]) -> list[Violation]:
+    """dispatch-exhaustiveness for one file (see the module docstring)."""
+    rel = src_relative(path)
+    out: list[Violation] = []
+    if "dispatch" in file_waivers(text):
+        return out
+
+    markers: list[tuple[int, str]] = []   # (line, enum name)
+    ignored: dict[str, int] = {}          # token -> line it appears on
+    referenced: dict[str, set[str]] = {}  # enum -> enumerators referenced
+    for lineno, raw, code in logical_lines(text):
+        for m in DISPATCH_MARKER_RE.finditer(raw):
+            markers.append((lineno, m.group(1)))
+        for m in DISPATCH_IGNORE_RE.finditer(raw):
+            for tok in m.group(1).split():
+                ignored.setdefault(tok, lineno)
+        for m in re.finditer(r"\b([A-Za-z_]\w*)\s*::\s*(k\w+)", code):
+            referenced.setdefault(m.group(1), set()).add(m.group(2))
+
+    required = REQUIRED_DISPATCH_ROLES.get(rel)
+    if required and required in enums and \
+            not any(e == required for _, e in markers):
+        out.append(Violation(
+            path, 1, "dispatch-exhaustiveness",
+            f"role file must carry `// lint-dispatch: {required}` — this is "
+            "one of the protocol's dispatch surfaces and its coverage of "
+            f"{required} is part of the analysis gates",
+        ))
+
+    known: set[str] = set()
+    for marker_line, enum in markers:
+        if enum not in enums:
+            # Single-file runs may not see the defining header; the rule
+            # only fires when the enum is inside the scanned set.
+            continue
+        enumerators = enums[enum]
+        known.update(enumerators)
+        refs = referenced.get(enum, set())
+        for name in enumerators:
+            if name in refs or name in ignored:
+                continue
+            out.append(Violation(
+                path, marker_line, "dispatch-exhaustiveness",
+                f"{enum}::{name} is neither handled in this file nor "
+                "listed on a `dispatch-ignore:` line — a new message kind "
+                "must be dispatched (or explicitly waived) in every role",
+            ))
+        for name in sorted(set(enumerators) & set(ignored) & refs):
+            out.append(Violation(
+                path, ignored[name], "dispatch-exhaustiveness",
+                f"stale waiver: {enum}::{name} is on a dispatch-ignore list "
+                "but IS referenced in this file — drop it from the list",
+            ))
+    if markers and any(e in enums for _, e in markers):
+        for tok, lineno in sorted(ignored.items()):
+            if tok not in known:
+                out.append(Violation(
+                    path, lineno, "dispatch-exhaustiveness",
+                    f"dispatch-ignore token '{tok}' is not an enumerator of "
+                    "any enum this file dispatches on — stale or misspelled",
+                ))
+    return out
 
 
 def lint_file(path: str,
@@ -436,9 +564,15 @@ def main(argv: list[str]) -> int:
 
     files = gather_files(args.paths)
     unordered_names = collect_unordered_names(files)
+    enums = collect_enums(files)
     violations: list[Violation] = []
     for path in files:
         violations.extend(lint_file(path, unordered_names))
+        try:
+            with open(path, encoding="utf-8", errors="replace") as f:
+                violations.extend(check_dispatch(path, f.read(), enums))
+        except OSError:
+            pass
 
     for v in violations:
         print(f"{v.path}:{v.line}: [{v.rule}] {v.message}")

@@ -1,0 +1,9 @@
+// Fixture enum for the dispatch-exhaustiveness fixtures.  Lives under
+// serial/ to mirror where the real wire enums are defined.
+#pragma once
+
+enum class FixtureMsg : unsigned char {
+  kAlpha = 0,
+  kBravo = 1,
+  kCharlie = 2,
+};

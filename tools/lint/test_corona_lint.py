@@ -25,9 +25,12 @@ FIXTURES = os.path.join(HERE, "fixtures")
 def lint(*roots: str) -> list[corona_lint.Violation]:
     files = corona_lint.gather_files(list(roots))
     names = corona_lint.collect_unordered_names(files)
+    enums = corona_lint.collect_enums(files)
     out: list[corona_lint.Violation] = []
     for path in files:
         out.extend(corona_lint.lint_file(path, names))
+        with open(path, encoding="utf-8", errors="replace") as f:
+            out.extend(corona_lint.check_dispatch(path, f.read(), enums))
     return out
 
 
@@ -57,6 +60,9 @@ class FixtureTree(unittest.TestCase):
             ("src/net/bad_net.cc", 17, "unordered-iteration"),
             ("src/core/bad_erase.cc", 12, "erase-in-range-for"),
             ("src/core/bad_erase.cc", 18, "erase-in-range-for"),
+            ("src/core/bad_dispatch.cc", 7, "dispatch-exhaustiveness"),
+            ("src/core/bad_dispatch.cc", 8, "dispatch-exhaustiveness"),
+            ("src/core/bad_dispatch.cc", 9, "dispatch-exhaustiveness"),
         }
         self.assertEqual(keyed(lint(FIXTURES)), expected)
 
@@ -83,6 +89,55 @@ class FixtureTree(unittest.TestCase):
     def test_file_waiver_covers_whole_file(self):
         path = os.path.join(FIXTURES, "src", "core", "clean_waived.cc")
         self.assertEqual(lint(path), [])
+
+    def test_dispatch_good_and_waived_fixtures_are_clean(self):
+        # Lint the fixture tree (so the enum header is in the scanned set)
+        # and check the good/waived variants contribute nothing.
+        for name in ("good_dispatch.cc", "waived_dispatch.cc"):
+            with self.subTest(fixture=name):
+                rel = "src/core/" + name
+                hits = [k for k in keyed(lint(FIXTURES)) if k[0] == rel]
+                self.assertEqual(hits, [])
+
+    def test_dispatch_bad_fixture_details(self):
+        msgs = [v.message for v in lint(FIXTURES)
+                if v.path.endswith("bad_dispatch.cc")]
+        self.assertEqual(len(msgs), 3)
+        self.assertTrue(any("kCharlie" in m for m in msgs))
+        self.assertTrue(any("stale waiver" in m and "kBravo" in m
+                            for m in msgs))
+        self.assertTrue(any("kZulu" in m for m in msgs))
+
+    def test_dispatch_required_marker_enforced(self):
+        import tempfile
+        with tempfile.TemporaryDirectory() as tmp:
+            serial = os.path.join(tmp, "src", "serial")
+            core = os.path.join(tmp, "src", "core")
+            os.makedirs(serial)
+            os.makedirs(core)
+            with open(os.path.join(serial, "wire.h"), "w") as f:
+                f.write("enum class MsgType { kPing };\n")
+            # A role file with no lint-dispatch marker must be flagged.
+            with open(os.path.join(core, "server.cc"), "w") as f:
+                f.write("void process() {}\n")
+            found = [(v.line, v.rule) for v in lint(os.path.join(tmp, "src"))
+                     if v.path.endswith("server.cc")]
+        self.assertEqual(found, [(1, "dispatch-exhaustiveness")])
+
+    def test_dispatch_file_waiver_silences_rule(self):
+        import tempfile
+        with tempfile.TemporaryDirectory() as tmp:
+            core = os.path.join(tmp, "src", "core")
+            os.makedirs(core)
+            with open(os.path.join(core, "wire.h"), "w") as f:
+                f.write("enum class FixtureMsg { kAlpha, kBravo };\n")
+            with open(os.path.join(core, "partial.cc"), "w") as f:
+                f.write("// lint-file: dispatch-ok\n"
+                        "// lint-dispatch: FixtureMsg\n"
+                        "void f() {}\n")
+            found = [v for v in lint(os.path.join(tmp, "src"))
+                     if v.path.endswith("partial.cc")]
+        self.assertEqual(found, [])
 
     def test_main_exit_codes_and_output(self):
         stdout, stderr = io.StringIO(), io.StringIO()

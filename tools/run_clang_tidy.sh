@@ -1,22 +1,37 @@
 #!/usr/bin/env sh
-# Runs clang-tidy (config: .clang-tidy) over every corona source file, using
-# the compile_commands.json of an existing build tree.
+# Runs clang-tidy (config: .clang-tidy) over every corona source file and
+# gates the findings against the checked-in baseline, making the job
+# blocking: any finding not in tools/tidy/baseline.txt fails the run.
 #
-#   usage: tools/run_clang_tidy.sh [build-dir]
+#   usage: tools/run_clang_tidy.sh [--update-baseline] [build-dir]
 #
-# With no argument the script looks for a build tree that already exported
+# With no build-dir the script looks for a build tree that already exported
 # compile_commands.json (build/release, build/debug, then flat build/) and,
-# finding none, configures build/tidy itself.  Exits 0 with a notice when no
-# clang-tidy binary is installed, so the script is safe to call from
-# environments that lack LLVM; CI installs clang-tidy and fails on findings.
+# finding none, configures build/tidy itself.
+#
+# The enforced clang-tidy major version is pinned (CI installs exactly that
+# package).  Elsewhere a version mismatch is a warning, a missing binary a
+# notice + exit 0, so the script stays safe to call from environments that
+# lack LLVM; set CLANG_TIDY_STRICT=1 (as CI does) to turn both into errors.
 set -eu
 
+PINNED_MAJOR=18
+
 repo="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
+baseline="$repo/tools/tidy/baseline.txt"
+update=0
+build=""
+
+for arg in "$@"; do
+  case "$arg" in
+    --update-baseline) update=1 ;;
+    *) build="$arg" ;;
+  esac
+done
 
 tidy="${CLANG_TIDY:-}"
 if [ -z "$tidy" ]; then
-  for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
-                   clang-tidy-15 clang-tidy-14; do
+  for candidate in "clang-tidy-$PINNED_MAJOR" clang-tidy; do
     if command -v "$candidate" >/dev/null 2>&1; then
       tidy="$candidate"
       break
@@ -24,12 +39,27 @@ if [ -z "$tidy" ]; then
   done
 fi
 if [ -z "$tidy" ]; then
+  if [ "${CLANG_TIDY_STRICT:-0}" = "1" ]; then
+    echo "run_clang_tidy: no clang-tidy binary found (strict mode)" >&2
+    exit 2
+  fi
   echo "run_clang_tidy: no clang-tidy binary found; skipping (install" \
-       "clang-tidy or set CLANG_TIDY to enforce)." >&2
+       "clang-tidy-$PINNED_MAJOR or set CLANG_TIDY to enforce)." >&2
   exit 0
 fi
 
-build="${1:-}"
+major="$("$tidy" --version | sed -n 's/.*version \([0-9][0-9]*\)\..*/\1/p' \
+         | head -n 1)"
+if [ "$major" != "$PINNED_MAJOR" ]; then
+  if [ "${CLANG_TIDY_STRICT:-0}" = "1" ]; then
+    echo "run_clang_tidy: $tidy is version ${major:-unknown}, pinned" \
+         "$PINNED_MAJOR" >&2
+    exit 2
+  fi
+  echo "run_clang_tidy: warning: $tidy is version ${major:-unknown}," \
+       "baseline is pinned to $PINNED_MAJOR; findings may differ." >&2
+fi
+
 if [ -z "$build" ]; then
   for candidate in "$repo/build/release" "$repo/build/debug" "$repo/build"; do
     if [ -f "$candidate/compile_commands.json" ]; then
@@ -53,5 +83,24 @@ files=$(find "$repo/src" -name '*.cc' | LC_ALL=C sort)
 
 echo "run_clang_tidy: $tidy over $(echo "$files" | wc -l) files," \
      "database $build"
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+# --warnings-as-errors='-*' keeps clang-tidy's own exit code reserved for
+# hard errors; fix-or-waive enforcement is the baseline gate's job below.
 # shellcheck disable=SC2086  # word-splitting the file list is intended
-exec "$tidy" -p "$build" --quiet $files
+"$tidy" -p "$build" --quiet --warnings-as-errors='-*' $files \
+    > "$out" 2>/dev/null || {
+  status=$?
+  cat "$out"
+  echo "run_clang_tidy: $tidy failed (exit $status)" >&2
+  exit "$status"
+}
+cat "$out"
+
+if [ "$update" = "1" ]; then
+  python3 "$repo/tools/tidy/check_findings.py" \
+      --baseline "$baseline" --repo "$repo" --update < "$out"
+else
+  python3 "$repo/tools/tidy/check_findings.py" \
+      --baseline "$baseline" --repo "$repo" < "$out"
+fi

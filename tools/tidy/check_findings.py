@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Baseline gate for clang-tidy output.
+
+Reads clang-tidy's stdout on stdin, normalizes each finding to a
+`<repo-relative-file> [<check>]` key, and compares the set against the
+checked-in baseline (tools/tidy/baseline.txt):
+
+  * findings NOT in the baseline  -> printed, exit 1 (the blocking part)
+  * baseline entries with no finding -> stale-entry warning, exit 0
+  * --update rewrites the baseline to exactly the current finding set
+
+Keys are file+check (not line numbers) so unrelated edits to a file do not
+churn the baseline.  A waiver therefore covers every instance of that check
+in that file; fix-or-waive decisions are reviewed when the baseline changes.
+
+Usage:
+  clang-tidy ... | python3 tools/tidy/check_findings.py \
+      --baseline tools/tidy/baseline.txt --repo .
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+# clang-tidy diagnostic line:  /abs/path/file.cc:12:5: warning: msg [check-a,check-b]
+FINDING_RE = re.compile(
+    r"^(?P<path>[^:\s][^:]*):(?P<line>\d+):(?P<col>\d+):\s+"
+    r"(?P<kind>warning|error):\s+(?P<msg>.*)\s+\[(?P<checks>[\w.,-]+)\]\s*$")
+
+
+def finding_keys(stream, repo: str) -> dict[str, list[str]]:
+    """Maps normalized `file [check]` keys to the raw lines that produced
+    them (for error reporting)."""
+    repo = os.path.abspath(repo)
+    keys: dict[str, list[str]] = {}
+    for raw in stream:
+        m = FINDING_RE.match(raw.rstrip("\n"))
+        if not m:
+            continue
+        path = m.group("path")
+        if os.path.isabs(path):
+            path = os.path.relpath(path, repo)
+        path = path.replace(os.sep, "/")
+        if path.startswith(".."):
+            continue  # finding outside the repo (system header): ignore
+        for check in m.group("checks").split(","):
+            key = f"{path} [{check}]"
+            keys.setdefault(key, []).append(raw.rstrip("\n"))
+    return keys
+
+
+def read_baseline(path: str) -> list[str]:
+    if not os.path.exists(path):
+        return []
+    entries = []
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if line and not line.startswith("#"):
+                entries.append(line)
+    return entries
+
+
+BASELINE_HEADER = """\
+# clang-tidy baseline/waiver list (see tools/tidy/check_findings.py).
+#
+# One entry per line: `<repo-relative-file> [<check-name>]`.  An entry waives
+# every instance of that check in that file.  Regenerate with:
+#   tools/run_clang_tidy.sh --update-baseline
+# Remove entries as findings are fixed; stale entries are reported.
+"""
+
+
+def write_baseline(path: str, keys: list[str]) -> None:
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(BASELINE_HEADER)
+        for key in sorted(keys):
+            f.write(key + "\n")
+
+
+def main(argv: list[str] | None = None, stream=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--repo", default=".")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline to the current finding set")
+    args = ap.parse_args(argv)
+
+    keys = finding_keys(stream if stream is not None else sys.stdin,
+                        args.repo)
+    if args.update:
+        write_baseline(args.baseline, list(keys))
+        print(f"check_findings: baseline updated with {len(keys)} entr"
+              f"{'y' if len(keys) == 1 else 'ies'} -> {args.baseline}")
+        return 0
+
+    baseline = set(read_baseline(args.baseline))
+    new = sorted(k for k in keys if k not in baseline)
+    stale = sorted(b for b in baseline if b not in keys)
+
+    for entry in stale:
+        print(f"check_findings: stale baseline entry (fixed? remove it): "
+              f"{entry}", file=sys.stderr)
+    if new:
+        print(f"check_findings: {len(new)} finding(s) not in the baseline:")
+        for key in new:
+            print(f"  {key}")
+            for line in keys[key][:3]:
+                print(f"    {line}")
+        print("fix them or waive them via tools/run_clang_tidy.sh "
+              "--update-baseline")
+        return 1
+    print(f"check_findings: ok ({len(keys)} finding(s), all baselined; "
+          f"{len(stale)} stale)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

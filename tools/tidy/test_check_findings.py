@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Self-test for the clang-tidy baseline gate (check_findings.py).
+
+Run directly or via ctest (tidy_gate_selftest).  Dependency-free.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stderr, redirect_stdout
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import check_findings  # noqa: E402
+
+SAMPLE = """\
+/repo/src/core/server.cc:10:3: warning: use after move [bugprone-use-after-move]
+    note: context line that is not a finding
+/repo/src/core/server.cc:44:9: warning: moved twice [bugprone-use-after-move]
+/repo/src/net/frame.cc:7:1: warning: slow loop [performance-for-range-copy]
+/repo/src/serial/codec.cc:3:2: error: broken [clang-diagnostic-error]
+/usr/include/c++/12/vector:99:9: warning: system header noise [bugprone-x]
+garbage line without a finding
+"""
+
+
+def keys_of(text: str, repo: str = "/repo"):
+    return check_findings.finding_keys(io.StringIO(text), repo)
+
+
+class Parsing(unittest.TestCase):
+    def test_findings_normalize_to_file_check_keys(self):
+        keys = keys_of(SAMPLE)
+        self.assertEqual(sorted(keys), [
+            "src/core/server.cc [bugprone-use-after-move]",
+            "src/net/frame.cc [performance-for-range-copy]",
+            "src/serial/codec.cc [clang-diagnostic-error]",
+        ])
+
+    def test_duplicate_findings_collapse_but_keep_lines(self):
+        keys = keys_of(SAMPLE)
+        self.assertEqual(
+            len(keys["src/core/server.cc [bugprone-use-after-move]"]), 2)
+
+    def test_out_of_repo_findings_are_dropped(self):
+        keys = keys_of(SAMPLE)
+        self.assertFalse(any("vector" in k for k in keys))
+
+    def test_multi_check_brackets_fan_out(self):
+        text = ("/repo/src/a.cc:1:1: warning: m "
+                "[bugprone-a,performance-b]\n")
+        self.assertEqual(sorted(keys_of(text)), [
+            "src/a.cc [bugprone-a]",
+            "src/a.cc [performance-b]",
+        ])
+
+
+class Gate(unittest.TestCase):
+    def run_main(self, argv, text):
+        stdout, stderr = io.StringIO(), io.StringIO()
+        with redirect_stdout(stdout), redirect_stderr(stderr):
+            rc = check_findings.main(argv, stream=io.StringIO(text))
+        return rc, stdout.getvalue(), stderr.getvalue()
+
+    def test_unbaselined_finding_blocks(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline = os.path.join(tmp, "baseline.txt")
+            rc, out, _ = self.run_main(
+                ["--baseline", baseline, "--repo", "/repo"], SAMPLE)
+        self.assertEqual(rc, 1)
+        self.assertIn("bugprone-use-after-move", out)
+
+    def test_fully_baselined_run_passes_and_reports_stale(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline = os.path.join(tmp, "baseline.txt")
+            with open(baseline, "w") as f:
+                f.write("# comment\n")
+                for key in sorted(keys_of(SAMPLE)):
+                    f.write(key + "\n")
+                f.write("src/gone.cc [bugprone-a]\n")  # stale
+            rc, out, err = self.run_main(
+                ["--baseline", baseline, "--repo", "/repo"], SAMPLE)
+        self.assertEqual(rc, 0)
+        self.assertIn("ok", out)
+        self.assertIn("stale baseline entry", err)
+        self.assertIn("src/gone.cc", err)
+
+    def test_update_writes_sorted_baseline(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline = os.path.join(tmp, "baseline.txt")
+            rc, _, _ = self.run_main(
+                ["--baseline", baseline, "--repo", "/repo", "--update"],
+                SAMPLE)
+            self.assertEqual(rc, 0)
+            entries = check_findings.read_baseline(baseline)
+            self.assertEqual(entries, sorted(keys_of(SAMPLE)))
+            # And the updated baseline makes the same input pass.
+            rc, _, _ = self.run_main(
+                ["--baseline", baseline, "--repo", "/repo"], SAMPLE)
+            self.assertEqual(rc, 0)
+
+    def test_clean_input_passes_on_empty_baseline(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline = os.path.join(tmp, "baseline.txt")
+            rc, out, _ = self.run_main(
+                ["--baseline", baseline, "--repo", "/repo"], "no findings\n")
+        self.assertEqual(rc, 0)
+        self.assertIn("0 finding(s)", out)
+
+
+if __name__ == "__main__":
+    unittest.main()
