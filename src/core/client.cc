@@ -1,5 +1,3 @@
-// lint-file: thread-ok — see the thread-safety note in client.h: the API
-// mutex serializes app-thread calls against runtime-thread deliveries.
 #include "core/client.h"
 
 #include <algorithm>
@@ -24,7 +22,7 @@ CoronaClient::CoronaClient(NodeId server, Callbacks callbacks, Config config)
 RequestId CoronaClient::create_group(GroupId g, std::string name,
                                      bool persistent,
                                      std::vector<StateEntry> initial_state) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   const RequestId rid = next_request();
   send(server_, make_create_group(g, std::move(name), persistent,
                                   std::move(initial_state), rid));
@@ -32,7 +30,7 @@ RequestId CoronaClient::create_group(GroupId g, std::string name,
 }
 
 RequestId CoronaClient::delete_group(GroupId g) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   const RequestId rid = next_request();
   send(server_, make_delete_group(g, rid));
   return rid;
@@ -40,14 +38,14 @@ RequestId CoronaClient::delete_group(GroupId g) {
 
 RequestId CoronaClient::join(GroupId g, TransferPolicySpec policy,
                              MemberRole role, bool notify_membership) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   const RequestId rid = next_request();
   send(server_, make_join(g, std::move(policy), role, notify_membership, rid));
   return rid;
 }
 
 RequestId CoronaClient::leave(GroupId g) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   const RequestId rid = next_request();
   replicas_.erase(g);
   recent_sends_.erase(g);
@@ -56,7 +54,7 @@ RequestId CoronaClient::leave(GroupId g) {
 }
 
 RequestId CoronaClient::get_membership(GroupId g) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   const RequestId rid = next_request();
   send(server_, make_get_membership(g, rid));
   return rid;
@@ -64,7 +62,7 @@ RequestId CoronaClient::get_membership(GroupId g) {
 
 RequestId CoronaClient::bcast_state(GroupId g, ObjectId obj, Bytes payload,
                                     bool sender_inclusive) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   const RequestId rid = next_request();
   UpdateRecord rec;
   rec.kind = PayloadKind::kState;
@@ -80,7 +78,7 @@ RequestId CoronaClient::bcast_state(GroupId g, ObjectId obj, Bytes payload,
 
 RequestId CoronaClient::bcast_update(GroupId g, ObjectId obj, Bytes payload,
                                      bool sender_inclusive) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   const RequestId rid = next_request();
   UpdateRecord rec;
   rec.kind = PayloadKind::kUpdate;
@@ -95,21 +93,21 @@ RequestId CoronaClient::bcast_update(GroupId g, ObjectId obj, Bytes payload,
 }
 
 RequestId CoronaClient::lock(GroupId g, ObjectId obj) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   const RequestId rid = next_request();
   send(server_, make_lock_request(g, obj, rid));
   return rid;
 }
 
 RequestId CoronaClient::unlock(GroupId g, ObjectId obj) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   const RequestId rid = next_request();
   send(server_, make_lock_release(g, obj, rid));
   return rid;
 }
 
 RequestId CoronaClient::reduce_log(GroupId g, SeqNo upto) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   const RequestId rid = next_request();
   send(server_, make_reduce_log(g, upto, rid));
   return rid;
@@ -123,7 +121,7 @@ void CoronaClient::remember_send(GroupId g, const UpdateRecord& rec) {
 }
 
 void CoronaClient::resend_recent(GroupId g) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   auto it = recent_sends_.find(g);
   if (it == recent_sends_.end() || it->second.empty()) return;
   Message m;
@@ -138,13 +136,13 @@ void CoronaClient::resend_recent(GroupId g) {
 // ---------------------------------------------------------------------------
 
 const SharedState* CoronaClient::group_state(GroupId g) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   auto it = replicas_.find(g);
   return it != replicas_.end() ? &it->second.state : nullptr;
 }
 
 std::vector<MemberInfo> CoronaClient::known_members(GroupId g) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   std::vector<MemberInfo> out;
   auto it = replicas_.find(g);
   if (it == replicas_.end()) return out;
@@ -155,7 +153,7 @@ std::vector<MemberInfo> CoronaClient::known_members(GroupId g) const {
 }
 
 SeqNo CoronaClient::expected_seq(GroupId g) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   auto it = replicas_.find(g);
   return it != replicas_.end() ? it->second.next_expected : 0;
 }
@@ -172,7 +170,7 @@ void CoronaClient::on_start() {
 
 void CoronaClient::on_timer(std::uint64_t tag) {
   if (tag != 1) return;
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   send(server_, make_heartbeat(0));
   set_timer(config_.heartbeat_interval, /*tag=*/1);
 }
@@ -194,7 +192,7 @@ void CoronaClient::on_timer(std::uint64_t tag) {
 // dispatch-ignore: kCoordAnnounce kBackupAssign -- server tier
 // dispatch-ignore: kDigestRequest kDigestReply -- server tier
 void CoronaClient::on_message(NodeId from, const Message& m) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   (void)from;
   switch (m.type) {
     case MsgType::kReply:

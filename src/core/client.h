@@ -16,18 +16,17 @@
 // (the threaded runtime delivers messages on the client's own node thread
 // while the application drives the API from its thread).  Callbacks run
 // with the client lock held on the runtime's delivery thread; they may call
-// back into the client (the lock is recursive) but should not block.
-//
-// lint-file: thread-ok — the API mutex above is exactly why this file is
-// the one protocol-layer exception to the no-raw-threading rule.  Under
-// the sim runtime the lock is always uncontended, so it adds no
-// nondeterminism.
+// back into the client (the lock is recursive) but should not block.  The
+// lock is the annotated corona::RecursiveMutex (util/sync.h), so a clang
+// -Wthread-safety build proves every guarded field stays under it; this is
+// the one protocol-layer class that holds a lock at all — everything else
+// is single-threaded by construction.  Under the sim runtime the lock is
+// always uncontended, so it adds no nondeterminism.
 #pragma once
 
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -35,6 +34,7 @@
 #include "runtime/runtime.h"
 #include "serial/message.h"
 #include "util/ids.h"
+#include "util/sync.h"
 
 namespace corona {
 
@@ -74,12 +74,21 @@ class CoronaClient : public Node {
   CoronaClient(NodeId server, Callbacks callbacks, Config config);
 
   // Reconnects the client to a different (or restarted) server.
-  void set_server(NodeId server) { server_ = server; }
-  NodeId server() const { return server_; }
+  void set_server(NodeId server) {
+    RecursiveMutexLock lock(mu_);
+    server_ = server;
+  }
+  NodeId server() const {
+    RecursiveMutexLock lock(mu_);
+    return server_;
+  }
 
   // Replaces the callback set (e.g. when harness wiring needs the client
   // object to exist before the callbacks can be built).
-  void set_callbacks(Callbacks callbacks) { cb_ = std::move(callbacks); }
+  void set_callbacks(Callbacks callbacks) {
+    RecursiveMutexLock lock(mu_);
+    cb_ = std::move(callbacks);
+  }
 
   // -- service operations (all asynchronous) ---------------------------------
   RequestId create_group(GroupId g, std::string name, bool persistent,
@@ -104,14 +113,23 @@ class CoronaClient : public Node {
   void resend_recent(GroupId g);
 
   // -- local replica ----------------------------------------------------------
-  bool is_joined(GroupId g) const { return replicas_.contains(g); }
+  bool is_joined(GroupId g) const {
+    RecursiveMutexLock lock(mu_);
+    return replicas_.contains(g);
+  }
   const SharedState* group_state(GroupId g) const;
   // Last known membership (from the join reply / notices / queries).
   std::vector<MemberInfo> known_members(GroupId g) const;
   // Next expected sequence number for `g`.
   SeqNo expected_seq(GroupId g) const;
-  std::uint64_t deliveries_received() const { return deliveries_received_; }
-  std::uint64_t gaps_detected() const { return gaps_detected_; }
+  std::uint64_t deliveries_received() const {
+    RecursiveMutexLock lock(mu_);
+    return deliveries_received_;
+  }
+  std::uint64_t gaps_detected() const {
+    RecursiveMutexLock lock(mu_);
+    return gaps_detected_;
+  }
 
   void on_start() override;
   void on_message(NodeId from, const Message& m) override;
@@ -125,23 +143,25 @@ class CoronaClient : public Node {
     bool awaiting_retransmit = false;
   };
 
-  RequestId next_request() { return next_request_id_++; }
-  void remember_send(GroupId g, const UpdateRecord& rec);
-  void handle_join_reply(const Message& m);
-  void handle_deliver(const Message& m);
-  void handle_state_reply(const Message& m);
-  void apply_record(GroupId g, Replica& r, const UpdateRecord& rec);
+  RequestId next_request() CORONA_REQUIRES(mu_) { return next_request_id_++; }
+  void remember_send(GroupId g, const UpdateRecord& rec) CORONA_REQUIRES(mu_);
+  void handle_join_reply(const Message& m) CORONA_REQUIRES(mu_);
+  void handle_deliver(const Message& m) CORONA_REQUIRES(mu_);
+  void handle_state_reply(const Message& m) CORONA_REQUIRES(mu_);
+  void apply_record(GroupId g, Replica& r, const UpdateRecord& rec)
+      CORONA_REQUIRES(mu_);
 
-  mutable std::recursive_mutex mu_;
-  NodeId server_;
-  Callbacks cb_;
-  Config config_;
-  RequestId next_request_id_ = 1;
-  std::map<GroupId, Replica> replicas_;
+  mutable RecursiveMutex mu_;
+  NodeId server_ CORONA_GUARDED_BY(mu_);
+  Callbacks cb_ CORONA_GUARDED_BY(mu_);
+  Config config_;  // set at construction only, read-only afterwards
+  RequestId next_request_id_ CORONA_GUARDED_BY(mu_) = 1;
+  std::map<GroupId, Replica> replicas_ CORONA_GUARDED_BY(mu_);
   // Resend buffer: this client's own recent multicasts, per group.
-  std::map<GroupId, std::deque<UpdateRecord>> recent_sends_;
-  std::uint64_t deliveries_received_ = 0;
-  std::uint64_t gaps_detected_ = 0;
+  std::map<GroupId, std::deque<UpdateRecord>> recent_sends_
+      CORONA_GUARDED_BY(mu_);
+  std::uint64_t deliveries_received_ CORONA_GUARDED_BY(mu_) = 0;
+  std::uint64_t gaps_detected_ CORONA_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace corona

@@ -153,7 +153,7 @@ void SocketRuntime::drop_connection(NodeId peer) {
   op.kind = Op::Kind::kDrop;
   op.to = peer;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ops_.push_back(std::move(op));
   }
   wake();
@@ -194,7 +194,7 @@ void SocketRuntime::send(NodeId from, NodeId to, const Message& m) {
   op.to = to;
   op.wire = m.encode();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ops_.push_back(std::move(op));
   }
   wake();
@@ -218,7 +218,7 @@ void SocketRuntime::send_batch(NodeId from, NodeId to,
   op.wires.reserve(ms.size());
   for (const Message& m : ms) op.wires.push_back(m.encode());
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ops_.push_back(std::move(op));
   }
   wake();
@@ -234,7 +234,7 @@ TimerHandle SocketRuntime::set_timer(NodeId owner, Duration delay,
   op.deadline = now() + std::max<Duration>(delay, 0);
   op.tag = tag;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ops_.push_back(std::move(op));
   }
   wake();
@@ -246,7 +246,7 @@ void SocketRuntime::cancel_timer(TimerHandle handle) {
   op.kind = Op::Kind::kCancelTimer;
   op.handle = handle;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ops_.push_back(std::move(op));
   }
   wake();
@@ -337,7 +337,7 @@ void SocketRuntime::drain_ops() {
   while (true) {
     std::deque<Op> batch;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (ops_.empty()) return;
       batch.swap(ops_);
     }
@@ -843,7 +843,7 @@ void SocketRuntime::sweep_keepalive() {
 
 Duration SocketRuntime::next_wakeup_delay() const {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!ops_.empty()) return 0;
   }
   Duration delay = 200 * kMillisecond;

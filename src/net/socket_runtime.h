@@ -40,7 +40,6 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <thread>
@@ -49,6 +48,7 @@
 #include "net/address.h"
 #include "net/frame.h"
 #include "runtime/runtime.h"
+#include "util/sync.h"
 
 namespace corona::net {
 
@@ -201,9 +201,9 @@ class SocketRuntime : public Runtime {
   SocketRuntimeConfig cfg_;
   std::chrono::steady_clock::time_point epoch_;
 
-  // -- shared with callers (guarded by mu_) ---------------------------------
-  mutable std::mutex mu_;
-  std::deque<Op> ops_;
+  // -- shared with callers --------------------------------------------------
+  mutable Mutex mu_;
+  std::deque<Op> ops_ CORONA_GUARDED_BY(mu_);
 
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};

@@ -244,7 +244,12 @@ class ReplicaServer : public Node {
   ReplicaConfig cfg_;
   // role_/coordinator_/term_ are written only by the owning node's thread
   // but read cross-thread through the introspection getters (the threaded
-  // tests poll them mid-election), hence atomic.
+  // tests poll them mid-election), hence atomic.  This class deliberately
+  // holds NO lock: everything else is owned by the node's runtime thread
+  // (single-threaded by construction), so the annotated corona::Mutex
+  // discipline (util/sync.h, ANALYSIS.md §9) has nothing to guard here —
+  // any future cross-thread state must use corona::Mutex + GUARDED_BY, not
+  // more atomics.
   std::atomic<Role> role_ = Role::kLeaf;
   std::atomic<NodeId> coordinator_;
   std::atomic<std::uint64_t> term_ = 0;  // announce/election term

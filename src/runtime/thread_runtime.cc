@@ -20,7 +20,12 @@ void ThreadRuntime::add_node(NodeId id, Node* node) {
   assert(node != nullptr);
   auto w = std::make_unique<Worker>();
   w->node = node;
-  w->start_pending = true;
+  {
+    // Registration runs before start(), so the lock is uncontended; taking
+    // it keeps the guarded-field discipline visible to the analysis.
+    MutexLock lock(w->mu);
+    w->start_pending = true;
+  }
   node->bind(this, id);
   auto [it, inserted] = workers_.emplace(id, std::move(w));
   assert(inserted && "duplicate node id");
@@ -44,7 +49,7 @@ void ThreadRuntime::stop() {
   if (!stopped_.compare_exchange_strong(expected, true)) return;
   for (auto& [id, w] : workers_) {
     {
-      std::lock_guard<std::mutex> lock(w->mu);
+      MutexLock lock(w->mu);
       w->stopping = true;
     }
     w->cv.notify_all();
@@ -61,7 +66,7 @@ TimePoint ThreadRuntime::now() const {
 
 void ThreadRuntime::send(NodeId from, NodeId to, const Message& m) {
   {
-    std::lock_guard<std::mutex> lock(crash_mu_);
+    MutexLock lock(crash_mu_);
     if (crashed_.contains(from) || crashed_.contains(to)) {
       return;
     }
@@ -70,7 +75,7 @@ void ThreadRuntime::send(NodeId from, NodeId to, const Message& m) {
   assert(it != workers_.end() && "send to unregistered node");
   Worker& w = *it->second;
   {
-    std::lock_guard<std::mutex> lock(w.mu);
+    MutexLock lock(w.mu);
     if (w.stopping) return;
     w.mailbox.push_back(Mail{from, m.encode()});
   }
@@ -84,7 +89,7 @@ TimerHandle ThreadRuntime::set_timer(NodeId owner, Duration delay,
   Worker& w = *it->second;
   const TimerHandle handle = next_timer_.fetch_add(1);
   {
-    std::lock_guard<std::mutex> lock(w.mu);
+    MutexLock lock(w.mu);
     w.timers.emplace(now() + delay, TimerEntry{handle, tag});
   }
   w.cv.notify_all();
@@ -92,17 +97,17 @@ TimerHandle ThreadRuntime::set_timer(NodeId owner, Duration delay,
 }
 
 void ThreadRuntime::cancel_timer(TimerHandle handle) {
-  std::lock_guard<std::mutex> lock(cancel_mu_);
+  MutexLock lock(cancel_mu_);
   cancelled_.push_back(handle);
 }
 
 void ThreadRuntime::crash(NodeId id) {
-  std::lock_guard<std::mutex> lock(crash_mu_);
+  MutexLock lock(crash_mu_);
   crashed_.insert(id);
 }
 
 void ThreadRuntime::restore(NodeId id) {
-  std::lock_guard<std::mutex> lock(crash_mu_);
+  MutexLock lock(crash_mu_);
   crashed_.erase(id);
 }
 
@@ -111,7 +116,7 @@ bool ThreadRuntime::wait_quiescent(Duration timeout) {
   while (steady_clock::now() < deadline) {
     bool quiet = true;
     for (auto& [id, w] : workers_) {
-      std::lock_guard<std::mutex> lock(w->mu);
+      MutexLock lock(w->mu);
       if (!w->mailbox.empty() || w->busy || w->start_pending) {
         quiet = false;
         break;
@@ -126,7 +131,7 @@ bool ThreadRuntime::wait_quiescent(Duration timeout) {
 void ThreadRuntime::worker_loop(NodeId id, Worker& w) {
   // Run on_start on the worker thread so nodes never see foreign threads.
   {
-    std::unique_lock<std::mutex> lock(w.mu);
+    MutexLock lock(w.mu);
     w.busy = true;
     lock.unlock();
     w.node->on_start();
@@ -142,7 +147,7 @@ void ThreadRuntime::worker_loop(NodeId id, Worker& w) {
     bool have_timer = false;
 
     {
-      std::unique_lock<std::mutex> lock(w.mu);
+      MutexLock lock(w.mu);
       while (true) {
         if (w.stopping) return;
 
@@ -152,7 +157,7 @@ void ThreadRuntime::worker_loop(NodeId id, Worker& w) {
           w.timers.erase(w.timers.begin());
           bool is_cancelled = false;
           {
-            std::lock_guard<std::mutex> clock_(cancel_mu_);
+            MutexLock clock_(cancel_mu_);
             auto it = std::find(cancelled_.begin(), cancelled_.end(),
                                 entry.handle);
             if (it != cancelled_.end()) {
@@ -179,7 +184,7 @@ void ThreadRuntime::worker_loop(NodeId id, Worker& w) {
           w.cv.wait(lock);
         } else {
           const Duration sleep_us = w.timers.begin()->first - now();
-          w.cv.wait_for(lock, microseconds(std::max<Duration>(sleep_us, 1)));
+          w.cv.wait_for(lock, std::max<Duration>(sleep_us, 1));
         }
       }
     }
@@ -189,7 +194,7 @@ void ThreadRuntime::worker_loop(NodeId id, Worker& w) {
     } else if (have_mail) {
       bool dropped;
       {
-        std::lock_guard<std::mutex> lock(crash_mu_);
+        MutexLock lock(crash_mu_);
         dropped = crashed_.contains(id);
       }
       if (!dropped) {
@@ -200,7 +205,7 @@ void ThreadRuntime::worker_loop(NodeId id, Worker& w) {
     }
 
     {
-      std::lock_guard<std::mutex> lock(w.mu);
+      MutexLock lock(w.mu);
       w.busy = false;
     }
   }

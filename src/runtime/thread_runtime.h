@@ -8,17 +8,16 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "runtime/runtime.h"
+#include "util/sync.h"
 
 namespace corona {
 
@@ -68,14 +67,17 @@ class ThreadRuntime : public Runtime {
   struct Worker {
     Node* node = nullptr;
     std::thread thread;
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<Mail> mailbox;
-    // deadline -> timers, under mu.
-    std::multimap<TimePoint, TimerEntry> timers;
-    bool stopping = false;
-    bool busy = false;
-    bool start_pending = false;
+    // Acquired by the worker's own loop and by any thread sending to it;
+    // worker_loop nests cancel_mu_ inside (mu before cancel_mu_ is the
+    // global lock order — tools/lint/lock_order.py proves it stays acyclic).
+    Mutex mu;
+    CondVar cv;
+    std::deque<Mail> mailbox CORONA_GUARDED_BY(mu);
+    // deadline -> timers.
+    std::multimap<TimePoint, TimerEntry> timers CORONA_GUARDED_BY(mu);
+    bool stopping CORONA_GUARDED_BY(mu) = false;
+    bool busy CORONA_GUARDED_BY(mu) = false;
+    bool start_pending CORONA_GUARDED_BY(mu) = false;
   };
 
   void worker_loop(NodeId id, Worker& w);
@@ -84,13 +86,13 @@ class ThreadRuntime : public Runtime {
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};
   std::chrono::steady_clock::time_point epoch_;
-  std::mutex cancel_mu_;
-  std::vector<TimerHandle> cancelled_;
+  Mutex cancel_mu_;
+  std::vector<TimerHandle> cancelled_ CORONA_GUARDED_BY(cancel_mu_);
   std::atomic<std::uint64_t> next_timer_{1};
-  std::mutex crash_mu_;
+  Mutex crash_mu_;
   // Sorted so the per-send membership probe is O(log n) instead of a linear
   // scan; sends are the hot path, crash/restore are rare.
-  std::set<NodeId> crashed_;
+  std::set<NodeId> crashed_ CORONA_GUARDED_BY(crash_mu_);
 };
 
 }  // namespace corona

@@ -31,7 +31,8 @@ void default_handler(const char* file, int line, const char* expr,
 }
 
 // Atomic so a test swapping the handler is visible to node threads under
-// ThreadRuntime without a data race.
+// ThreadRuntime without a data race.  A single word needs no corona::Mutex
+// (util/sync.h); anything richer than one pointer would.
 std::atomic<InvariantHandler> g_handler{&default_handler};
 
 }  // namespace

@@ -1,5 +1,3 @@
-// lint-file: thread-ok — the singleton logger serializes writes from every
-// node thread under ThreadRuntime (see logging.h).
 #include "util/logging.h"
 
 #include <iostream>
@@ -12,12 +10,12 @@ Logger& Logger::instance() {
 }
 
 void Logger::set_level(LogLevel level) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   level_ = level;
 }
 
 LogLevel Logger::level() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return level_;
 }
 
@@ -37,7 +35,7 @@ const char* level_name(LogLevel l) {
 
 void Logger::write(LogLevel level, const std::string& tag,
                    const std::string& text) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (static_cast<int>(level) < static_cast<int>(level_)) return;
   std::cerr << "[" << level_name(level) << "] " << tag << ": " << text << "\n";
 }

@@ -5,9 +5,10 @@
 // threaded runtime logs from many node threads.
 #pragma once
 
-#include <mutex>
 #include <sstream>
 #include <string>
+
+#include "util/sync.h"
 
 namespace corona {
 
@@ -27,8 +28,8 @@ class Logger {
   Logger() = default;
   // The logger is shared by every node thread under ThreadRuntime, so line
   // assembly must be serialized; it never feeds back into protocol state.
-  mutable std::mutex mu_;  // lint: thread-ok
-  LogLevel level_ = LogLevel::kWarn;
+  mutable Mutex mu_;
+  LogLevel level_ CORONA_GUARDED_BY(mu_) = LogLevel::kWarn;
 };
 
 namespace logdetail {

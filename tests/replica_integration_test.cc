@@ -3,6 +3,8 @@
 // coordinator crashes (election + takeover), and partition reconciliation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "harness.h"
 
 namespace corona {
@@ -283,6 +285,147 @@ TEST(Replicated, WrongfulClaimNackedByLiveCoordinator) {
   EXPECT_FALSE(w.leaf(1).is_coordinator());
   EXPECT_GE(w.leaf(1).stats().elections_started, 0u);
   EXPECT_EQ(w.leaf(1).stats().elections_won, 0u);
+}
+
+TEST(Replicated, LastSurvivorElectsItselfAfterCoordinatorCrash) {
+  // Two servers total: when the coordinator dies, the surviving leaf can
+  // collect no positive witness (there is nobody left to ack), yet it must
+  // still win — the "alone" clause of the quorum rule.  Registry size stays
+  // at 2 (self + the dead coordinator; nobody is left to prune it), so this
+  // is exactly the self-election boundary.
+  ReplicatedWorld w(2, 1);
+  w.client(0).create_group(kG, "g", true);
+  w.settle();
+  w.client(0).join(kG);
+  w.settle();
+  w.client(0).bcast_update(kG, kObj, to_bytes("before;"));
+  w.settle();
+
+  w.rt.crash(w.server_ids[0]);
+  w.run_ms(6000);
+  EXPECT_TRUE(w.leaf(1).is_coordinator());
+  EXPECT_GE(w.leaf(1).stats().elections_won, 1u);
+
+  // Service resumes on the lone survivor, pre-crash state intact.
+  w.client(0).bcast_update(kG, kObj, to_bytes("after;"));
+  w.run_ms(2000);
+  ASSERT_NE(w.client(0).group_state(kG), nullptr);
+  EXPECT_EQ(to_string(*w.client(0).group_state(kG)->object(kObj)),
+            "before;after;");
+}
+
+TEST(Replicated, SenderExclusiveMulticastSkipsOnlyOrigin) {
+  // bcast_update(..., sender_inclusive=false): every member EXCEPT the
+  // origin gets the delivery.  Pins the leaf fan-out filter in both
+  // directions — the origin is skipped, and *only* the origin is skipped.
+  SimRuntime rt;
+  testing::DeliveryLog log;
+  std::vector<NodeId> ids{server_id(0), server_id(1), server_id(2)};
+  std::vector<std::unique_ptr<ReplicaServer>> servers;
+  for (std::size_t i = 0; i < 3; ++i) {
+    servers.push_back(std::make_unique<ReplicaServer>(ReplicaConfig{}, ids));
+    rt.add_node(ids[i], servers[i].get(), rt.network().add_host(HostProfile{}));
+  }
+  std::vector<std::unique_ptr<CoronaClient>> clients;
+  for (std::size_t i = 0; i < 2; ++i) {
+    clients.push_back(std::make_unique<CoronaClient>(
+        ids[1 + i], log.callbacks_for(client_id(i))));  // one client per leaf
+    rt.add_node(client_id(i), clients.back().get(),
+                rt.network().add_host(HostProfile{}));
+  }
+  rt.start();
+  rt.run_for(500 * kMillisecond);
+  clients[0]->create_group(kG, "g", true);
+  rt.run_for(500 * kMillisecond);
+  clients[0]->join(kG);
+  clients[1]->join(kG);
+  rt.run_for(500 * kMillisecond);
+
+  clients[0]->bcast_update(kG, kObj, to_bytes("x"),
+                           /*sender_inclusive=*/false);
+  rt.run_for(500 * kMillisecond);
+
+  EXPECT_EQ(log.seqs_for(client_id(0)).size(), 0u) << "origin self-delivered";
+  EXPECT_EQ(log.seqs_for(client_id(1)).size(), 1u) << "other member skipped";
+}
+
+TEST(Replicated, HotStandbyRetainedWithoutFreshBackupElection) {
+  // When a group's last member on a leaf leaves and the copy count would
+  // drop below min_copies, the coordinator keeps that leaf as the hot
+  // standby directly (§4.1).  That retention is NOT a backup election: the
+  // leaf already holds the current copy, so no assignment round runs and
+  // the stats counter stays where the join left it.
+  ReplicatedWorld w(3, 1);  // coordinator + 2 leaves; client on leaf 1
+  w.client(0).create_group(kG, "g", true);
+  w.settle();
+  w.client(0).join(kG);
+  w.settle();
+  w.client(0).bcast_update(kG, kObj, to_bytes("kept"));
+  w.settle();
+  // The join put one member-driven copy on leaf 1 and elected exactly one
+  // backup to reach min_copies = 2.
+  ASSERT_EQ(w.coordinator().stats().backups_assigned, 1u);
+
+  w.client(0).leave(kG);
+  w.settle();
+  EXPECT_EQ(w.coordinator().stats().backups_assigned, 1u)
+      << "hot-standby retention ran a redundant backup election";
+  EXPECT_TRUE(w.leaf(1).holds_copy(kG));
+  const auto holders = w.coordinator().coord_holders(kG);
+  EXPECT_NE(std::find(holders.begin(), holders.end(), w.server_ids[1]),
+            holders.end());
+  EXPECT_GE(holders.size(), 2u);
+}
+
+// Sends one bounded retransmit request and records the seqs in the reply.
+class RangeProbe final : public Node {
+ public:
+  void on_message(NodeId, const Message& m) override {
+    if (m.type != MsgType::kStateReply) return;
+    for (const UpdateRecord& u : m.updates) got.push_back(u.seq);
+    ++replies;
+  }
+  void query(NodeId server, GroupId g, SeqNo from, SeqNo to) {
+    Message req;
+    req.type = MsgType::kRetransmitReq;
+    req.group = g;
+    req.seq = from;
+    req.seq2 = to;
+    send(server, req);
+  }
+  std::vector<SeqNo> got;
+  int replies = 0;
+};
+
+TEST(Replicated, BoundedRetransmitRangeIsInclusive) {
+  // A gap request asks for [seq, seq2] where seq2 is the out-of-order
+  // record the requester dropped; the reply must include seq2 itself or
+  // the requester is left one record short until unrelated traffic
+  // re-triggers recovery.
+  ReplicatedWorld w(2, 1);
+  w.client(0).create_group(kG, "g", true);
+  w.settle();
+  w.client(0).join(kG);
+  w.settle();
+  for (int i = 0; i < 4; ++i) {
+    w.client(0).bcast_update(kG, kObj, to_bytes("u"));
+  }
+  w.settle();
+
+  RangeProbe probe;
+  w.rt.add_node(NodeId{900}, &probe,
+                w.rt.network().add_host(HostProfile{}));
+  probe.query(w.server_ids[1], kG, /*from=*/2, /*to=*/3);
+  w.settle();
+  ASSERT_EQ(probe.replies, 1);
+  EXPECT_EQ(probe.got, (std::vector<SeqNo>{2, 3}));
+
+  // seq2 == 0 means unbounded: the whole tail from `seq` on.
+  probe.got.clear();
+  probe.query(w.server_ids[1], kG, /*from=*/2, /*to=*/0);
+  w.settle();
+  ASSERT_EQ(probe.replies, 2);
+  EXPECT_EQ(probe.got, (std::vector<SeqNo>{2, 3, 4}));
 }
 
 // ---------------------------------------------------------------------------

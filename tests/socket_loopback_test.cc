@@ -480,5 +480,62 @@ TEST(SocketLoopback, BatchOfOneStillDelivers) {
   EXPECT_EQ(server_rt.stats().messages_dropped, 0u);
 }
 
+TEST(SocketLoopback, StopWhileRedialTimerPending) {
+  // Shutdown-ordering: stop() must join the loop cleanly while the
+  // reconnect-backoff timer is armed and a connect may be in flight.
+  SocketRuntime probe;
+  auto port = probe.listen("127.0.0.1", 0);  // reserve an ephemeral port
+  ASSERT_TRUE(port.is_ok());
+  const std::uint16_t p = port.value();
+  probe.stop();  // nothing listens there now
+
+  SocketRuntimeConfig cfg;
+  cfg.reconnect_backoff_min = 5 * kMillisecond;
+  cfg.reconnect_backoff_max = 20 * kMillisecond;
+  auto c = std::make_unique<ClientProc>(NodeId{100}, p, cfg);
+  c->client->create_group(kG, "g", true);  // traffic queued toward nobody
+  ASSERT_TRUE(wait_until(
+      [&] { return c->rt.stats().reconnects_scheduled >= 1; }));
+  c->rt.stop();  // redial timer still pending
+  c->rt.stop();  // second stop is a no-op
+  c.reset();     // and the destructor's stop is a third
+}
+
+TEST(SocketLoopback, StopWhileBatchPartiallyDrained) {
+  // Shutdown-ordering: stop() right after a large send_batch — the loop
+  // may be mid-writev with most of the batch still queued.  The contract
+  // is that loss cuts only the tail: whatever arrives is an in-order
+  // prefix, and the teardown itself must be race-free (tsan checks that).
+  SocketRuntime server_rt;
+  SinkNode sink;
+  server_rt.add_node(kServerId, &sink);
+  auto port = server_rt.listen("127.0.0.1", 0);
+  ASSERT_TRUE(port.is_ok()) << port.status().to_string();
+  server_rt.start();
+
+  SocketRuntime sender_rt;
+  SinkNode unused;
+  sender_rt.add_node(NodeId{100}, &unused);
+  sender_rt.set_peer_address(kServerId, Endpoint{"127.0.0.1", port.value()});
+  sender_rt.start();
+
+  Message m;
+  m.type = MsgType::kHeartbeat;
+  m.payload = Bytes(1024, 0x5a);
+  std::vector<Message> batch;
+  for (SeqNo i = 0; i < 512; ++i) {
+    m.seq = i;
+    batch.push_back(m);
+  }
+  sender_rt.send_batch(NodeId{100}, kServerId, batch);
+  sender_rt.stop();  // no settling: the batch is at best partially written
+  server_rt.stop();
+
+  const std::vector<SeqNo> got = sink.seqs;  // loops joined; no lock needed
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], i) << "delivered batch is not an in-order prefix";
+  }
+}
+
 }  // namespace
 }  // namespace corona::net

@@ -48,6 +48,16 @@ Rules (see docs/ANALYSIS.md for the full contract):
                  std::recursive_mutex/std::condition_variable/std::async.
                  Concurrency lives in the runtime and transport layers only.
 
+  raw-mutex      src/** except src/util/sync.h
+                 No std::mutex/std::recursive_mutex/std::lock_guard/
+                 std::unique_lock/std::scoped_lock/std::condition_variable —
+                 not even in the runtime/transport layers that raw-thread
+                 exempts.  All locking goes through the annotated
+                 corona::Mutex/MutexLock/CondVar wrappers (util/sync.h) so
+                 the clang -Wthread-safety build and tools/lint/
+                 lock_order.py see every acquisition.  std::thread itself
+                 stays raw-thread's business (spawning is not locking).
+
   float-accum    src/sim
                  No float/double in sim cost models without an explicit
                  waiver: accumulating floats makes results depend on
@@ -176,6 +186,19 @@ RULES = [
         "raw threading primitive outside src/runtime/; protocol code is "
         "single-threaded by construction — concurrency belongs to the "
         "runtime layer",
+    ),
+    Rule(
+        "raw-mutex",
+        "raw-mutex",
+        everywhere_except("util/sync.h"),
+        re.compile(
+            r"std::(?:mutex|recursive_mutex|timed_mutex|recursive_timed_mutex|"
+            r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|"
+            r"scoped_lock|shared_lock|condition_variable(?:_any)?)\b"
+        ),
+        "raw std locking primitive; all locking goes through the annotated "
+        "corona::Mutex/MutexLock/CondVar wrappers (util/sync.h) so the "
+        "clang thread-safety build and lock_order.py can see it",
     ),
     Rule(
         "float-accum",

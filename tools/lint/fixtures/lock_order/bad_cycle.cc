@@ -1,0 +1,25 @@
+// Fixture: classic ABBA deadlock — transfer() nests debit under credit,
+// audit() nests credit under debit.  The lint must report the cycle.
+#include "util/sync.h"
+
+namespace fixture {
+
+struct Ledger {
+  corona::Mutex credit;
+  corona::Mutex debit;
+  int balance = 0;
+};
+
+inline void transfer(Ledger& l) {
+  corona::MutexLock a(l.credit);
+  corona::MutexLock b(l.debit);
+  ++l.balance;
+}
+
+inline void audit(Ledger& l) {
+  corona::MutexLock b(l.debit);
+  corona::MutexLock a(l.credit);
+  --l.balance;
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Fixture: two locks always taken in the same order — one edge, no cycle.
+#include "util/sync.h"
+
+namespace fixture {
+
+struct Pipeline {
+  corona::Mutex intake;
+  corona::Mutex outflow;
+  int queued = 0;
+};
+
+inline void push(Pipeline& p) {
+  corona::MutexLock a(p.intake);
+  corona::MutexLock b(p.outflow);
+  ++p.queued;
+}
+
+inline void drain(Pipeline& p) {
+  corona::MutexLock a(p.intake);
+  corona::MutexLock b(p.outflow);
+  --p.queued;
+}
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Fixture: the worker-loop callback window — the first lock is manually
+// released before the second is taken, so NO edge may be recorded.
+#include "util/sync.h"
+
+namespace fixture {
+
+struct Mailbox {
+  corona::Mutex box_mu;
+  corona::Mutex log_mu;
+  int flushed = 0;
+};
+
+inline void flush(Mailbox& m) {
+  corona::MutexLock hold(m.box_mu);
+  ++m.flushed;
+  hold.unlock();
+  {
+    corona::MutexLock log(m.log_mu);
+    ++m.flushed;
+  }
+  hold.lock();
+  ++m.flushed;
+}
+
+}  // namespace fixture

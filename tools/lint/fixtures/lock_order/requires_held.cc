@@ -1,0 +1,18 @@
+// Fixture: CORONA_REQUIRES marks a lock held on entry; acquiring another
+// lock inside the body records an edge from the required lock.
+#include "util/sync.h"
+
+namespace fixture {
+
+struct Cache {
+  corona::Mutex map_mu;
+  corona::Mutex stats_mu;
+  int hits CORONA_GUARDED_BY(stats_mu) = 0;
+
+  void bump_hits() CORONA_REQUIRES(map_mu) {
+    corona::MutexLock s(stats_mu);
+    ++hits;
+  }
+};
+
+}  // namespace fixture

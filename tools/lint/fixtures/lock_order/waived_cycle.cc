@@ -1,0 +1,27 @@
+// Fixture: the same ABBA shape as bad_cycle.cc, but the reversed
+// acquisition carries a waiver — the lint must stay silent.
+#include "util/sync.h"
+
+namespace fixture {
+
+struct Registry {
+  corona::Mutex names;
+  corona::Mutex values;
+  int entries = 0;
+};
+
+inline void bind(Registry& r) {
+  corona::MutexLock n(r.names);
+  corona::MutexLock v(r.values);
+  ++r.entries;
+}
+
+inline void unbind(Registry& r) {
+  corona::MutexLock v(r.values);
+  // Fixture-only justification: pretend a trylock protocol makes this
+  // reversal safe.  lint: lock-order-ok
+  corona::MutexLock n(r.names);
+  --r.entries;
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: wall-clock reads in protocol code — sim-visible code must use
+// the injected Runtime clock; both reads flagged.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+long now_pair() {
+  long a = std::chrono::steady_clock::now().time_since_epoch().count();
+  struct timespec ts;
+  clock_gettime(0, &ts);
+  return a + ts.tv_sec;
+}
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// Fixture: erasing from the container that drives a range-for — iterator
+// invalidation that often *passes* tests.  Two bad loops; the erase+break
+// idiom is waived and the post-loop erase is clean.
+#include <map>
+
+namespace fixture {
+
+void prune(std::map<int, int>& m) {
+  for (auto& [k, v] : m) {
+    if (v == 0) {
+      (void)k;
+      m.erase(k);
+    }
+  }
+}
+
+void drop_all(std::map<int, int>& m) {
+  for (auto& [k, v] : m) m.erase(k);
+}
+
+void drop_first_negative(std::map<int, int>& m) {
+  for (auto& [k, v] : m) {
+    if (v < 0) {
+      m.erase(k);  // exits the loop immediately; lint: erase-ok
+      break;
+    }
+  }
+  m.erase(0);  // after the loop: clean
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: unseeded/global randomness in protocol code; all randomness
+// must flow through the explicitly seeded corona::Rng.  Both flagged.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int roll() { return rand() % 6; }
+
+std::mt19937 global_gen;
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: a pervasive, justified exception — the lint-file waiver must
+// silence every hit of the named rule in the whole file.
+// lint-file: clock-ok — models a profiling shim that reads the steady
+// clock everywhere by design.
+#include <chrono>
+
+namespace fixture {
+
+long t0() { return std::chrono::steady_clock::now().time_since_epoch().count(); }
+long t1() { return std::chrono::system_clock::now().time_since_epoch().count(); }
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: full dispatch coverage of FixtureMsg — contributes nothing.
+#include "../serial/fixture_msg.h"
+
+namespace fixture {
+// lint-dispatch: FixtureMsg
+int dispatch_all(FixtureMsg m) {
+  switch (m) {
+    case FixtureMsg::kAlpha: return 1;
+    case FixtureMsg::kBravo: return 2;
+    case FixtureMsg::kCharlie: return 3;
+  }
+  return 0;
+}
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: partial dispatch with every gap explicitly waived — clean.
+#include "../serial/fixture_msg.h"
+
+namespace fixture {
+// lint-dispatch: FixtureMsg
+// dispatch-ignore: kBravo kCharlie -- forwarded upstream, never seen here
+int dispatch_some(FixtureMsg m) {
+  return m == FixtureMsg::kAlpha ? 1 : 0;
+}
+}  // namespace fixture

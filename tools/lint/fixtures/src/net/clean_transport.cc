@@ -1,14 +1,16 @@
 // Fixture: src/net/ is a real transport — wall clocks and threading
 // primitives are its job (like the thread runtime) and must lint clean
-// without waivers.  Randomness stays banned there.
+// without waivers.  Randomness stays banned there, and locking still goes
+// through the annotated corona wrappers (raw-mutex applies even here).
 #include <chrono>
 #include <map>
-#include <mutex>
 #include <thread>
+
+#include "util/sync.h"
 
 namespace fixture {
 
-std::mutex net_mu;  // allowed: src/net/ owns its loop-thread concurrency
+corona::Mutex net_mu;  // allowed: the annotated wrapper, not std::mutex
 
 long transport_now() {
   return std::chrono::steady_clock::now().time_since_epoch().count();  // allowed
@@ -17,6 +19,7 @@ long transport_now() {
 void spawn_loop() {
   std::thread loop([] {});  // allowed
   loop.join();
+  corona::MutexLock lock(net_mu);
 }
 
 }  // namespace fixture

@@ -1,16 +1,19 @@
 // Fixture: the one place real clocks and threads are the job.  Everything
-// here must lint clean without waivers.
+// here must lint clean without waivers — note locking still goes through
+// the annotated corona wrappers (raw-mutex applies even here).
 #include <chrono>
-#include <mutex>
 #include <thread>
+
+#include "util/sync.h"
 
 namespace fixture {
 
-std::mutex g_mu;  // allowed: src/runtime/ owns concurrency
+corona::Mutex g_mu;  // allowed: the annotated wrapper, not std::mutex
 
 long run() {
-  std::thread t([] {});  // allowed
+  std::thread t([] {});  // allowed: src/runtime/ owns concurrency
   t.join();
+  corona::MutexLock lock(g_mu);
   return std::chrono::steady_clock::now().time_since_epoch().count();
 }
 

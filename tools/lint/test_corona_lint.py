@@ -54,7 +54,12 @@ class FixtureTree(unittest.TestCase):
             ("src/replica/bad_unordered.cc", 9, "unordered-iteration"),
             ("src/sim/bad_float.cc", 5, "float-accum"),
             ("src/serial/bad_thread.cc", 7, "raw-thread"),
+            ("src/serial/bad_thread.cc", 7, "raw-mutex"),
             ("src/serial/bad_thread.cc", 10, "raw-thread"),
+            ("src/runtime/bad_raw_mutex.cc", 10, "raw-mutex"),
+            ("src/runtime/bad_raw_mutex.cc", 11, "raw-mutex"),
+            ("src/runtime/bad_raw_mutex.cc", 14, "raw-mutex"),
+            ("src/runtime/bad_raw_mutex.cc", 18, "raw-mutex"),
             ("src/net/bad_net.cc", 9, "unordered-container"),
             ("src/net/bad_net.cc", 12, "raw-random"),
             ("src/net/bad_net.cc", 17, "unordered-iteration"),
@@ -85,6 +90,28 @@ class FixtureTree(unittest.TestCase):
         found = sorted((v.line, v.rule) for v in lint(path))
         self.assertEqual(found, [(12, "erase-in-range-for"),
                                  (18, "erase-in-range-for")])
+
+    def test_raw_mutex_fires_in_runtime_but_waiver_silences(self):
+        # src/runtime/ escapes raw-thread but NOT raw-mutex; the line waiver
+        # on the bridge() interop case must be honored.
+        path = os.path.join(FIXTURES, "src", "runtime", "bad_raw_mutex.cc")
+        found = sorted((v.line, v.rule) for v in lint(path))
+        self.assertEqual(found, [(10, "raw-mutex"), (11, "raw-mutex"),
+                                 (14, "raw-mutex"), (18, "raw-mutex")])
+
+    def test_raw_mutex_exempts_sync_header(self):
+        # The wrapper header itself is the one sanctioned home of the std
+        # primitives.
+        import tempfile
+        with tempfile.TemporaryDirectory() as tmp:
+            util = os.path.join(tmp, "src", "util")
+            os.makedirs(util)
+            with open(os.path.join(util, "sync.h"), "w") as f:
+                f.write("// lint-file: thread-ok\n"
+                        "#pragma once\n"
+                        "class Mutex { std::mutex mu_; };\n")
+            found = [v for v in lint(os.path.join(tmp, "src"))]
+        self.assertEqual(found, [])
 
     def test_file_waiver_covers_whole_file(self):
         path = os.path.join(FIXTURES, "src", "core", "clean_waived.cc")

@@ -61,7 +61,10 @@ if [ "$major" != "$PINNED_MAJOR" ]; then
 fi
 
 if [ -z "$build" ]; then
-  for candidate in "$repo/build/release" "$repo/build/debug" "$repo/build"; do
+  # build/thread-safety is a clang database — preferable for clang-tidy
+  # when present (matching driver flags), tried after the common trees.
+  for candidate in "$repo/build/release" "$repo/build/debug" \
+                   "$repo/build/thread-safety" "$repo/build"; do
     if [ -f "$candidate/compile_commands.json" ]; then
       build="$candidate"
       break
