@@ -1,0 +1,162 @@
+// Durability ablation: what does crash-safety cost, and what buys it back?
+//
+// §6 warns that "state logging could limit the throughput due to disk I/O"
+// and names the two levers this bench sweeps: batching commits (group
+// commit amortizes the fsync) and checkpointing (bounds the log suffix
+// replayed at recovery).  The storage/disk/ backend makes both real: every
+// flush() is framed appends + one fdatasync, every checkpoint an atomic
+// temp+fsync+rename.  The sweep drives the durable GroupStore through a
+// checkpoint-interval x flush-batch grid and reports, per cell:
+//
+//   * steady-state ingest (messages/s, wall clock — machine-dependent),
+//   * fsyncs per 1k messages (deterministic: a pure function of the grid),
+//   * cold-restart recovery time and the records replayed (the checkpoint
+//     interval is exactly the replay-length knob).
+//
+// Unlike the sim ablations this bench hits the real filesystem; the
+// recorded baseline keeps tight thresholds only on the deterministic
+// counters and loose ones on wall-clock rates.
+#include <chrono>
+#include <iostream>
+#include <string>
+
+#include <stdlib.h>
+#include <unistd.h>
+
+#include "bench/scenario.h"
+#include "storage/disk/disk_env.h"
+#include "storage/disk/disk_io.h"
+#include "storage/group_store.h"
+#include "util/bytes.h"
+
+using namespace corona;
+using namespace corona::bench;
+
+namespace {
+
+constexpr GroupId kGroup{1};
+constexpr std::size_t kMessages = 2000;
+constexpr std::size_t kPayloadBytes = 1000;
+constexpr std::size_t kSegmentBytes = 1 << 20;
+
+struct CellResult {
+  double ingest_msgs_per_sec = 0;
+  double fsyncs_per_kmsg = 0;
+  double recovery_ms = 0;
+  std::uint64_t replayed_records = 0;
+};
+
+UpdateRecord update_for(SeqNo seq) {
+  UpdateRecord u;
+  u.seq = seq;
+  u.kind = PayloadKind::kUpdate;
+  u.object = ObjectId{seq % 8};
+  u.data = filler_bytes(kPayloadBytes, static_cast<std::uint8_t>(seq));
+  u.sender = NodeId{100};
+  u.request_id = seq;
+  return u;
+}
+
+double elapsed_ms(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// One grid cell: ingest kMessages with the given flush batch and
+// checkpoint cadence, then time a cold reopen of the same directory.
+// ckpt_interval == 0 means "never checkpoint" (recovery replays it all).
+CellResult run_cell(std::size_t flush_batch, std::size_t ckpt_interval) {
+  char tmpl[] = "/tmp/corona_bench_durability_XXXXXX";
+  const char* root = ::mkdtemp(tmpl);
+  if (root == nullptr) {
+    std::cerr << "mkdtemp failed\n";
+    ::exit(1);
+  }
+  CellResult out;
+  {
+    disk::DiskEnv env(disk::DiskEnvConfig{root, kSegmentBytes});
+    GroupStore gs(&env);
+    gs.create_group(GroupMeta{kGroup, "bench", true}, {});
+    gs.flush();
+    const std::uint64_t fsyncs_before = env.stats().fsyncs;
+    const auto t0 = std::chrono::steady_clock::now();
+    SeqNo base = 0;
+    for (SeqNo seq = 1; seq <= kMessages; ++seq) {
+      gs.append_update(kGroup, update_for(seq));
+      if (seq % flush_batch == 0) gs.flush();
+      if (ckpt_interval != 0 && seq % ckpt_interval == 0) {
+        gs.install_checkpoint(
+            kGroup, seq, {StateEntry{ObjectId{0}, filler_bytes(256, 7)}});
+        base = seq;
+      }
+    }
+    gs.flush();
+    (void)base;
+    const double ingest_ms = elapsed_ms(t0);
+    out.ingest_msgs_per_sec = kMessages / (ingest_ms / 1000.0);
+    out.fsyncs_per_kmsg =
+        1000.0 * static_cast<double>(env.stats().fsyncs - fsyncs_before) /
+        static_cast<double>(kMessages);
+  }
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    disk::DiskEnv env(disk::DiskEnvConfig{root, kSegmentBytes});
+    GroupStore gs(&env);
+    const auto groups = gs.recover();
+    out.recovery_ms = elapsed_ms(t0);
+    if (groups.size() != 1) {
+      std::cerr << "recovery lost the bench group\n";
+      ::exit(1);
+    }
+    out.replayed_records = groups[0].updates.size();
+  }
+  disk::remove_tree(root);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_banner("Ablation — durability: fsync batching x checkpoint cadence",
+               "§6 disk-I/O bound; storage/disk/ backend (docs/STORAGE.md)");
+
+  JsonReport report("ablation_durability");
+
+  const std::size_t batches[] = {1, 8, 64};
+  const std::size_t intervals[] = {0, 64, 512};
+
+  TextTable ingest({"ckpt interval", "flush batch", "ingest msg/s",
+                    "fsyncs / 1k msgs", "recovery ms", "replayed"});
+  for (const std::size_t ckpt : intervals) {
+    for (const std::size_t batch : batches) {
+      const CellResult r = run_cell(batch, ckpt);
+      const std::string ckpt_name =
+          ckpt == 0 ? "never" : std::to_string(ckpt);
+      ingest.add_row({ckpt_name, std::to_string(batch),
+                      TextTable::fmt(r.ingest_msgs_per_sec),
+                      TextTable::fmt(r.fsyncs_per_kmsg, 1),
+                      TextTable::fmt(r.recovery_ms, 2),
+                      std::to_string(r.replayed_records)});
+      const std::string key =
+          "ckpt_" + ckpt_name + ".batch_" + std::to_string(batch);
+      report.add(key + ".ingest_msgs_per_sec", r.ingest_msgs_per_sec);
+      report.add(key + ".fsyncs_per_kmsg", r.fsyncs_per_kmsg);
+      report.add(key + ".recovery_wall_ms", r.recovery_ms);
+      report.add_count(key + ".replayed_records", r.replayed_records);
+    }
+  }
+  std::cout << ingest.to_string();
+  std::cout
+      << "\nShape: the fsync count is the grid's pure function — batch 64\n"
+         "cuts it ~64x (group commit; §6's mitigation), and checkpoints\n"
+         "add one fsync'd atomic replace per interval.  Recovery time\n"
+         "scales with the replayed suffix: 'never' replays everything,\n"
+         "ckpt 64 replays under one interval's worth.  Wall-clock rates\n"
+         "are machine-dependent; the counters are not.\n";
+
+  if (const std::string path = json_output_path(argc, argv); !path.empty()) {
+    if (!report.write(path)) return 1;
+  }
+  return 0;
+}

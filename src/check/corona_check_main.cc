@@ -158,6 +158,7 @@ int main(int argc, char** argv) {
   if (!replay.empty()) {
     std::string text = replay;
     if (text[0] == '@') {
+      // Replay-trace read, user-supplied input; lint: file-io-ok
       std::ifstream in(text.substr(1));
       if (!in || !std::getline(in, text)) {
         std::cerr << "corona-check: cannot read trace file " << replay << "\n";
@@ -223,6 +224,7 @@ int main(int argc, char** argv) {
             << options.max_branch << " --replay " << result.trace.to_string()
             << "\n";
   if (!trace_out.empty()) {
+    // Diagnostic trace dump; loss is harmless; lint: file-io-ok
     std::ofstream out(trace_out);
     out << result.trace.to_string() << "\n";
   }

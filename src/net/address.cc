@@ -67,6 +67,7 @@ Result<AddressBook> parse_address_book(const std::string& text) {
 }
 
 Result<AddressBook> load_address_book_file(const std::string& path) {
+  // Config read at startup, never rewritten; lint: file-io-ok
   std::ifstream in(path);
   if (!in) {
     return Status::error(Errc::kNotFound, "cannot open book file: " + path);

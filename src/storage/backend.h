@@ -1,0 +1,116 @@
+// Storage backend interfaces: the contracts behind StableLog/CheckpointStore.
+//
+// The paper requires every multicast logged "both in memory and on stable
+// storage" (§3.2).  The seed implementation modeled stable storage in RAM
+// (StableLog / CheckpointStore) with the *timing* of a disk supplied by
+// sim::SimDisk; the on-disk backend (src/storage/disk/) implements the same
+// contracts against real files.  GroupStore programs against these
+// interfaces and a StorageEnv factory, so the protocol layers never know
+// which backend they run on — the durability semantics (visible at once,
+// durable after flush(), unflushed tail lost on crash) are identical.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/ids.h"
+
+namespace corona {
+
+// Append-only record log with explicit flush and fail-stop crash semantics
+// (the StableLog contract).  Appended records are immediately visible to the
+// live process, durable only after flush(), and crash() discards the
+// unflushed tail the way power loss would.
+class LogBackend {
+ public:
+  virtual ~LogBackend() = default;
+
+  // Appends a record; visible at once, durable after the next flush().
+  virtual void append(Bytes record) = 0;
+
+  // Makes every appended record durable.  Returns the number of records the
+  // call committed — the size of the commit group (group-commit accounting:
+  // one flush covering a batch of appends pays the device's fixed per-op
+  // cost once for all of them).
+  virtual std::size_t flush() = 0;
+
+  // Fail-stop crash: the unflushed tail vanishes; the live view becomes the
+  // durable view.
+  virtual void crash() = 0;
+
+  // Drops the first `n` records (log reduction / checkpointing).
+  virtual void drop_prefix(std::size_t n) = 0;
+
+  virtual std::size_t size() const = 0;
+  virtual std::size_t durable_size() const = 0;
+  virtual std::size_t unflushed() const = 0;
+  virtual const Bytes& record(std::size_t i) const = 0;
+
+  virtual std::uint64_t bytes_appended() const = 0;
+  virtual std::uint64_t bytes_flushed() const = 0;
+  // Bytes appended since the last flush (what the next flush would write).
+  virtual std::uint64_t pending_bytes() const = 0;
+
+  // Group-commit accounting: flushes that committed at least one record,
+  // total records those flushes covered, and the largest commit group.
+  virtual std::uint64_t commits() const = 0;
+  virtual std::uint64_t records_flushed() const = 0;
+  virtual std::size_t max_commit_records() const = 0;
+};
+
+// Keyed checkpoint blobs with atomic replace-at-flush semantics (the
+// CheckpointStore contract): a crash between put() and flush() leaves the
+// previous checkpoint intact, never a torn mix.
+class CheckpointBackend {
+ public:
+  virtual ~CheckpointBackend() = default;
+
+  // Stages a checkpoint blob for `key`; durable after flush().
+  virtual void put(const std::string& key, Bytes blob) = 0;
+  // Stages removal of `key`.
+  virtual void erase(const std::string& key) = 0;
+
+  virtual void flush() = 0;
+  virtual void crash() = 0;
+
+  // Live view (what the running process reads back).
+  virtual std::optional<Bytes> get(const std::string& key) const = 0;
+  // Durable view (what recovery after a crash would see).
+  virtual std::optional<Bytes> get_durable(const std::string& key) const = 0;
+  virtual std::vector<std::string> durable_keys() const = 0;
+
+  virtual std::uint64_t bytes_committed() const = 0;
+};
+
+// Factory + lifecycle for a storage backend: one checkpoint store plus one
+// record log per group.  A StorageEnv outlives every GroupStore constructed
+// over it; for a durable env, constructing a fresh GroupStore over the same
+// env (or a reopened env on the same directory) is how a restarted process
+// recovers.
+class StorageEnv {
+ public:
+  virtual ~StorageEnv() = default;
+
+  // Opens (creating if absent) the record log for `id`.  For a durable env
+  // an existing log loads its surviving records; the returned backend's
+  // durable view is exactly what the last crash left behind.
+  virtual std::unique_ptr<LogBackend> open_log(GroupId id) = 0;
+
+  // Reclaims the log's storage (group removal).
+  virtual void remove_log(GroupId id) = 0;
+
+  // Ids of logs that already exist in the backend (durable envs only; the
+  // in-memory env has no logs that outlive their GroupStore and returns
+  // nothing).  GroupStore uses this to reap orphan logs — groups that died
+  // before their first checkpoint flush.
+  virtual std::vector<GroupId> list_logs() const = 0;
+
+  virtual CheckpointBackend& checkpoints() = 0;
+  virtual const CheckpointBackend& checkpoints() const = 0;
+};
+
+}  // namespace corona

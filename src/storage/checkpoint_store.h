@@ -2,9 +2,9 @@
 //
 // A checkpoint write replaces the previous checkpoint for its key *atomically
 // at flush time* — a crash between put() and flush() leaves the old
-// checkpoint intact, never a torn mix.  (A real implementation gets this
-// from write-to-temp + rename; the in-memory model keeps staged and
-// committed maps.)
+// checkpoint intact, never a torn mix.  (The real implementation —
+// storage/disk/disk_checkpoint.h — gets this from write-to-temp + fsync +
+// rename; this in-memory model keeps staged and committed maps.)
 #pragma once
 
 #include <cstdint>
@@ -12,27 +12,28 @@
 #include <string>
 #include <unordered_map>
 
+#include "storage/backend.h"
 #include "util/bytes.h"
 
 namespace corona {
 
-class CheckpointStore {
+class CheckpointStore final : public CheckpointBackend {
  public:
   // Stages a checkpoint blob for `key`; durable after flush().
-  void put(const std::string& key, Bytes blob);
+  void put(const std::string& key, Bytes blob) override;
   // Stages removal of `key`.
-  void erase(const std::string& key);
+  void erase(const std::string& key) override;
 
-  void flush();
-  void crash();
+  void flush() override;
+  void crash() override;
 
   // Live view (what the running process reads back).
-  std::optional<Bytes> get(const std::string& key) const;
+  std::optional<Bytes> get(const std::string& key) const override;
   // Durable view (what recovery after a crash would see).
-  std::optional<Bytes> get_durable(const std::string& key) const;
-  std::vector<std::string> durable_keys() const;
+  std::optional<Bytes> get_durable(const std::string& key) const override;
+  std::vector<std::string> durable_keys() const override;
 
-  std::uint64_t bytes_committed() const { return bytes_committed_; }
+  std::uint64_t bytes_committed() const override { return bytes_committed_; }
 
  private:
   enum class Op { kPut, kErase };

@@ -1,0 +1,28 @@
+// CRC32C (Castagnoli) checksums for on-disk records.
+//
+// Every length-prefixed record in a log segment and every checkpoint file
+// carries a CRC32C over its payload, so recovery can distinguish "the tail
+// the crash tore" from "a record that made it to the platter".  CRC32C is
+// the storage-stack standard (iSCSI, ext4, Btrfs, LevelDB) because its
+// polynomial detects the short burst errors torn sector writes produce.
+//
+// Software table-driven implementation — portable, no SSE4.2 dependency;
+// the log's bandwidth is bounded by fsync, not by checksumming.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace corona::disk {
+
+// CRC32C of `data`, with LevelDB-style init/finalize (bit-inverted in and
+// out), starting from `seed` (pass the running value to extend a checksum).
+std::uint32_t crc32c(const std::uint8_t* data, std::size_t n,
+                     std::uint32_t seed = 0);
+inline std::uint32_t crc32c(BytesView data, std::uint32_t seed = 0) {
+  return crc32c(data.data(), data.size(), seed);
+}
+
+}  // namespace corona::disk

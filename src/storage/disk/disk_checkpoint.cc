@@ -1,0 +1,107 @@
+#include "storage/disk/disk_checkpoint.h"
+
+#include "storage/disk/disk_format.h"
+
+namespace corona::disk {
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+std::string hex_encode(const std::string& key) {
+  std::string out;
+  out.reserve(key.size() * 2);
+  for (const char c : key) {
+    const auto b = static_cast<std::uint8_t>(c);
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace
+
+DiskCheckpointStore::DiskCheckpointStore(std::string dir,
+                                         DiskCounters* counters)
+    : dir_(std::move(dir)), counters_(counters) {
+  ensure_dir(dir_);
+  load();
+}
+
+std::string DiskCheckpointStore::key_path(const std::string& key) const {
+  return dir_ + "/" + hex_encode(key) + ".ckpt";
+}
+
+void DiskCheckpointStore::load() {
+  for (const std::string& name : list_files(dir_)) {
+    const std::string path = dir_ + "/" + name;
+    if (name.ends_with(".tmp")) {  // interrupted atomic replace
+      remove_file(path);
+      continue;
+    }
+    if (!name.ends_with(".ckpt")) continue;
+    const auto buf = read_file(path);
+    std::optional<CheckpointFile> file;
+    if (buf) file = decode_checkpoint_file(*buf);
+    if (!file || hex_encode(file->key) + ".ckpt" != name) {
+      remove_file(path);
+      ++counters_->corrupt_files_dropped;
+      continue;
+    }
+    committed_[file->key] = file->blob;
+  }
+}
+
+void DiskCheckpointStore::put(const std::string& key, Bytes blob) {
+  staged_[key] = Staged{Op::kPut, std::move(blob)};
+}
+
+void DiskCheckpointStore::erase(const std::string& key) {
+  staged_[key] = Staged{Op::kErase, {}};
+}
+
+void DiskCheckpointStore::flush() {
+  bool erased = false;
+  for (auto& [key, staged] : staged_) {
+    if (staged.op == Op::kPut) {
+      atomic_write_file(key_path(key),
+                        encode_checkpoint_file(key, staged.blob), counters_);
+      ++counters_->checkpoints_written;
+      counters_->checkpoint_bytes += staged.blob.size();
+      bytes_committed_ += staged.blob.size();
+      committed_[key] = std::move(staged.blob);
+    } else {
+      remove_file(key_path(key));
+      committed_.erase(key);
+      erased = true;
+    }
+  }
+  if (erased) sync_dir(dir_, counters_);
+  staged_.clear();
+}
+
+void DiskCheckpointStore::crash() { staged_.clear(); }
+
+std::optional<Bytes> DiskCheckpointStore::get(const std::string& key) const {
+  if (auto it = staged_.find(key); it != staged_.end()) {
+    if (it->second.op == Op::kErase) return std::nullopt;
+    return it->second.blob;
+  }
+  return get_durable(key);
+}
+
+std::optional<Bytes> DiskCheckpointStore::get_durable(
+    const std::string& key) const {
+  if (auto it = committed_.find(key); it != committed_.end()) {
+    return it->second;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> DiskCheckpointStore::durable_keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(committed_.size());
+  for (const auto& [key, _] : committed_) keys.push_back(key);
+  return keys;
+}
+
+}  // namespace corona::disk

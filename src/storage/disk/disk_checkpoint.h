@@ -1,0 +1,61 @@
+// Durable keyed checkpoint store implementing the CheckpointStore contract
+// (storage/backend.h) against real files.
+//
+// One file per key under <data>/ckpt/, named <hex(key)>.ckpt so any key byte
+// is filename-safe.  put()/erase() stage in memory; flush() commits each
+// staged put with an atomic replace (temp + fsync + rename + dir fsync) and
+// each staged erase with unlink + dir fsync — so a crash mid-flush leaves
+// every key either at its old checkpoint or its new one, never torn.
+//
+// Opening validates every file (disk_format.h): bad magic/CRC, or a file
+// whose embedded key does not match its name (a spliced copy), is deleted
+// whole — a checkpoint has no salvageable prefix.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "storage/backend.h"
+#include "storage/disk/disk_io.h"
+#include "util/bytes.h"
+
+namespace corona::disk {
+
+class DiskCheckpointStore final : public CheckpointBackend {
+ public:
+  // Opens (creating if absent) the store rooted at `dir` and loads every
+  // valid checkpoint.  `counters` (owned by the DiskEnv) must outlive this.
+  DiskCheckpointStore(std::string dir, DiskCounters* counters);
+
+  void put(const std::string& key, Bytes blob) override;
+  void erase(const std::string& key) override;
+
+  void flush() override;
+  void crash() override;
+
+  std::optional<Bytes> get(const std::string& key) const override;
+  std::optional<Bytes> get_durable(const std::string& key) const override;
+  std::vector<std::string> durable_keys() const override;
+
+  std::uint64_t bytes_committed() const override { return bytes_committed_; }
+
+ private:
+  enum class Op { kPut, kErase };
+  struct Staged {
+    Op op;
+    Bytes blob;
+  };
+
+  std::string key_path(const std::string& key) const;
+  void load();
+
+  std::string dir_;
+  DiskCounters* counters_;
+  // Ordered so durable_keys() comes back sorted without a copy-and-sort.
+  std::map<std::string, Bytes> committed_;  // mirrors the on-disk files
+  std::map<std::string, Staged> staged_;
+  std::uint64_t bytes_committed_ = 0;
+};
+
+}  // namespace corona::disk

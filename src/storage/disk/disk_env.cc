@@ -1,0 +1,40 @@
+#include "storage/disk/disk_env.h"
+
+#include <cstdlib>
+
+#include "storage/disk/disk_log.h"
+
+namespace corona::disk {
+
+DiskEnv::DiskEnv(DiskEnvConfig config)
+    : config_(std::move(config)),
+      checkpoints_(config_.dir + "/ckpt", &counters_) {
+  ensure_dir(config_.dir + "/groups");
+}
+
+std::string DiskEnv::group_dir(GroupId id) const {
+  return config_.dir + "/groups/" + std::to_string(id.value);
+}
+
+std::unique_ptr<LogBackend> DiskEnv::open_log(GroupId id) {
+  return std::make_unique<DiskLog>(group_dir(id), config_.segment_bytes,
+                                   &counters_);
+}
+
+void DiskEnv::remove_log(GroupId id) {
+  remove_tree(group_dir(id));
+  sync_dir(config_.dir + "/groups", &counters_);
+}
+
+std::vector<GroupId> DiskEnv::list_logs() const {
+  std::vector<GroupId> ids;
+  for (const std::string& name : list_dirs(config_.dir + "/groups")) {
+    char* end = nullptr;
+    const std::uint64_t v = std::strtoull(name.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || name.empty()) continue;
+    ids.push_back(GroupId(v));
+  }
+  return ids;
+}
+
+}  // namespace corona::disk

@@ -1,0 +1,109 @@
+// On-disk byte formats for the durable backend (docs/STORAGE.md).
+//
+// Everything here is pure buffer-level encode/decode — no file descriptors —
+// so the exact same code path that recovery trusts is also what the
+// deterministic corruption harness (tests/storage_fuzz_test.cc) and the
+// libFuzzer entry (fuzz/storage_fuzz.cc) hammer in memory.
+//
+// Log segment file:
+//   [segment header][record][record]...
+//   header: "CSG1" magic (4) | base_index u64le (8) | crc32c(magic+base) (4)
+//   record: payload_len u32le (4) | crc32c(payload) (4) | payload
+//
+// Recovery is strict truncation-on-corruption, mirroring FrameDecoder's
+// teardown idiom: a scan accepts records until the first invalid one (bad
+// length, short tail, CRC mismatch) and declares everything from that byte
+// offset on dead.  A torn tail can only remove records, never resurrect or
+// alter one — the CRC covers the payload and the length bounds it.
+//
+// Checkpoint file:
+//   "CCK1" magic (4) | crc32c(key_len|key|blob) (4) |
+//   key_len u32le (4) | key | blob
+// Written to a temp name, fsynced, then renamed over the previous file, so
+// a checkpoint is either the old bytes or the new bytes, never a mix; any
+// file failing validation is discarded whole.
+//
+// Log meta file ("log.meta", atomically replaced on drop_prefix):
+//   "CLM1" magic (4) | start_index u64le (8) | crc32c(start_index) (4)
+// Records the logical index of the first live record, so restart does not
+// resurrect a checkpoint-covered prefix that still shares a segment with
+// live records.  A missing or corrupt meta file degrades to start 0: old
+// records may reappear, and the layer above (GroupStore::recover) filters
+// them by sequence number against the checkpoint base.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace corona::disk {
+
+// Sanity ceiling on a single record's payload; a garbage length prefix must
+// not make recovery buffer gigabytes before noticing (same rationale as
+// net::kDefaultMaxFrameBytes).
+constexpr std::size_t kMaxRecordBytes = 64 * 1024 * 1024;
+
+constexpr std::size_t kSegmentHeaderBytes = 16;  // magic + base + crc
+constexpr std::size_t kRecordHeaderBytes = 8;    // len + crc
+constexpr std::size_t kMetaFileBytes = 16;       // magic + start + crc
+
+// ---------------------------------------------------------------------------
+// Segment files
+// ---------------------------------------------------------------------------
+
+// Appends a segment header for a segment whose first record has logical
+// index `base_index`.
+void append_segment_header(Bytes& out, std::uint64_t base_index);
+
+// Appends one length-prefixed, checksummed record.
+void append_record(Bytes& out, BytesView payload);
+
+// Encoded size of a record with `payload_bytes` of payload.
+inline std::size_t record_size_on_disk(std::size_t payload_bytes) {
+  return kRecordHeaderBytes + payload_bytes;
+}
+
+// Result of scanning one segment buffer.
+struct SegmentScan {
+  bool header_ok = false;        // magic/CRC of the header validated
+  std::uint64_t base_index = 0;  // logical index of records[0]
+  std::vector<Bytes> records;    // the longest valid record prefix
+  // Byte offset of the first invalid byte — the truncation point.  Equals
+  // the buffer size when the whole segment is clean.
+  std::size_t valid_bytes = 0;
+  bool truncated = false;  // the scan stopped before the end of the buffer
+};
+
+// Scans a whole segment buffer (header + records), stopping at the first
+// corruption.  Never throws, never reads out of bounds, linear time.
+SegmentScan scan_segment(BytesView buf);
+
+// ---------------------------------------------------------------------------
+// Checkpoint files
+// ---------------------------------------------------------------------------
+
+Bytes encode_checkpoint_file(const std::string& key, BytesView blob);
+
+struct CheckpointFile {
+  std::string key;
+  Bytes blob;
+};
+
+// Decodes and validates a checkpoint file; nullopt if anything — magic,
+// CRC, lengths — fails, in which case the file is discarded whole (a rename
+// either completed or it did not; there is no partial-checkpoint state to
+// salvage).
+std::optional<CheckpointFile> decode_checkpoint_file(BytesView buf);
+
+// ---------------------------------------------------------------------------
+// Log meta file
+// ---------------------------------------------------------------------------
+
+Bytes encode_log_meta(std::uint64_t start_index);
+// nullopt on any validation failure; callers degrade to start 0.
+std::optional<std::uint64_t> decode_log_meta(BytesView buf);
+
+}  // namespace corona::disk

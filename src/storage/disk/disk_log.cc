@@ -1,0 +1,190 @@
+#include "storage/disk/disk_log.h"
+
+#include <algorithm>
+
+#include "storage/disk/disk_format.h"
+
+namespace corona::disk {
+namespace {
+
+constexpr const char* kMetaName = "log.meta";
+
+std::string segment_name(std::uint64_t base) {
+  std::string digits = std::to_string(base);
+  return "seg-" + std::string(20 - digits.size(), '0') + digits + ".log";
+}
+
+}  // namespace
+
+DiskLog::DiskLog(std::string dir, std::size_t segment_bytes,
+                 DiskCounters* counters)
+    : dir_(std::move(dir)), segment_bytes_(segment_bytes),
+      counters_(counters) {
+  ensure_dir(dir_);
+  recover();
+}
+
+void DiskLog::recover() {
+  // The drop_prefix floor: records with a lower logical index are covered by
+  // a checkpoint even if their segment still exists.
+  std::uint64_t start = 0;
+  const std::string meta_path = dir_ + "/" + kMetaName;
+  if (auto buf = read_file(meta_path)) {
+    if (auto s = decode_log_meta(*buf)) {
+      start = *s;
+    } else {
+      // Corrupt meta degrades to start 0; GroupStore filters resurrected
+      // records by sequence number against the checkpoint base.
+      remove_file(meta_path);
+      ++counters_->corrupt_files_dropped;
+    }
+  }
+
+  bool chain_broken = false;
+  bool have_prev = false;
+  std::uint64_t expect = 0;
+  std::uint64_t first_kept = 0;
+  for (const std::string& name : list_files(dir_)) {
+    if (name.ends_with(".tmp")) {  // interrupted atomic replace
+      remove_file(dir_ + "/" + name);
+      continue;
+    }
+    if (!name.starts_with("seg-") || !name.ends_with(".log")) continue;
+    const std::string path = dir_ + "/" + name;
+    if (chain_broken) {  // nothing past a torn point survives
+      remove_file(path);
+      ++counters_->corrupt_files_dropped;
+      continue;
+    }
+    const auto buf = read_file(path);
+    const SegmentScan scan = buf ? scan_segment(*buf) : SegmentScan{};
+    if (!scan.header_ok || (have_prev && scan.base_index != expect)) {
+      remove_file(path);
+      ++counters_->corrupt_files_dropped;
+      chain_broken = true;
+      continue;
+    }
+    if (scan.truncated) {
+      counters_->truncated_bytes += buf->size() - scan.valid_bytes;
+      truncate_file(path, scan.valid_bytes, counters_);
+      chain_broken = true;  // later segments postdate the torn tail
+    }
+    Segment seg;
+    seg.base = scan.base_index;
+    seg.count = scan.records.size();
+    seg.bytes = scan.valid_bytes;
+    seg.name = name;
+    for (std::size_t i = 0; i < scan.records.size(); ++i) {
+      if (seg.base + i < start) continue;  // checkpoint-covered prefix
+      if (records_.empty()) first_kept = seg.base + i;
+      records_.push_back(std::move(scan.records[i]));
+      ++counters_->recovered_records;
+    }
+    expect = seg.base + seg.count;
+    have_prev = true;
+    segments_.push_back(std::move(seg));
+  }
+
+  // records_[i] must carry logical index base_global_ + i.  Normally the
+  // kept records start exactly at the meta floor; if the floor is missing
+  // (degraded to 0) they start at the first surviving segment's base.
+  base_global_ = records_.empty() ? start : first_kept;
+  durable_count_ = records_.size();
+  for (const Bytes& rec : records_) {
+    bytes_appended_ += rec.size();
+    bytes_flushed_ += rec.size();
+  }
+}
+
+void DiskLog::append(Bytes record) {
+  bytes_appended_ += record.size();
+  records_.push_back(std::move(record));
+}
+
+void DiskLog::start_segment(std::uint64_t base) {
+  active_.close();
+  Segment seg;
+  seg.base = base;
+  seg.name = segment_name(base);
+  active_ = AppendFile::open(seg_path(seg), counters_);
+  Bytes header;
+  append_segment_header(header, base);
+  active_.write(header);
+  seg.bytes = header.size();
+  segments_.push_back(std::move(seg));
+  ++counters_->segments_created;
+}
+
+void DiskLog::ensure_active(std::uint64_t next_index) {
+  if (active_.is_open()) {
+    if (segments_.back().bytes >= segment_bytes_) start_segment(next_index);
+    return;
+  }
+  // Resume appending to the last recovered segment if it has room; its torn
+  // tail (if any) was truncated away during recovery.
+  if (!segments_.empty() && segments_.back().bytes < segment_bytes_) {
+    active_ = AppendFile::open(seg_path(segments_.back()), counters_);
+    return;
+  }
+  start_segment(next_index);
+}
+
+std::size_t DiskLog::flush() {
+  const std::size_t committed = records_.size() - durable_count_;
+  if (committed == 0) return 0;
+  for (std::size_t i = durable_count_; i < records_.size(); ++i) {
+    ensure_active(base_global_ + i);
+    Bytes frame;
+    append_record(frame, records_[i]);
+    active_.write(frame);
+    segments_.back().bytes += frame.size();
+    segments_.back().count += 1;
+    bytes_flushed_ += records_[i].size();
+  }
+  active_.sync();  // one device sync for the whole commit group
+  durable_count_ = records_.size();
+  ++commits_;
+  records_flushed_ += committed;
+  max_commit_records_ = std::max(max_commit_records_, committed);
+  return committed;
+}
+
+void DiskLog::crash() {
+  // Unflushed records were never written; dropping them from the live view
+  // makes it identical to the on-disk (and post-restart) view.
+  records_.resize(durable_count_);
+}
+
+void DiskLog::drop_prefix(std::size_t n) {
+  n = std::min(n, records_.size());
+  if (n == 0) return;
+  const std::uint64_t new_start = base_global_ + n;
+  // Meta first: a crash after this point leaves dead segments that the next
+  // open skips (meta floor) and deletes; a crash before it changes nothing.
+  atomic_write_file(dir_ + "/" + kMetaName, encode_log_meta(new_start),
+                    counters_);
+  bool deleted = false;
+  while (!segments_.empty() &&
+         segments_.front().base + segments_.front().count <= new_start) {
+    if (segments_.size() == 1) active_.close();  // front is the active one
+    remove_file(seg_path(segments_.front()));
+    segments_.erase(segments_.begin());
+    ++counters_->segments_deleted;
+    deleted = true;
+  }
+  if (deleted) sync_dir(dir_, counters_);
+  records_.erase(records_.begin(),
+                 records_.begin() + static_cast<std::ptrdiff_t>(n));
+  base_global_ = new_start;
+  durable_count_ -= std::min(durable_count_, n);
+}
+
+std::uint64_t DiskLog::pending_bytes() const {
+  std::uint64_t b = 0;
+  for (std::size_t i = durable_count_; i < records_.size(); ++i) {
+    b += records_[i].size();
+  }
+  return b;
+}
+
+}  // namespace corona::disk

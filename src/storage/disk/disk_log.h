@@ -1,0 +1,109 @@
+// Durable segmented record log implementing the StableLog contract
+// (storage/backend.h) against real files.
+//
+// Layout of one log directory (one per group, under <data>/groups/<id>/):
+//   log.meta                    first live logical index (drop_prefix floor)
+//   seg-00000000000000000000.log  segments, named by the logical index of
+//   seg-00000000000000000042.log  their first record (fixed-width decimal so
+//   ...                           lexicographic order is logical order)
+//
+// Contract mapping:
+//   * append() buffers the record in memory — visible to the live process at
+//     once, on disk not at all.  Process death at this point loses exactly
+//     the unflushed tail, which is the contract's crash() semantics for free.
+//   * flush() frames every buffered record (disk_format.h), appends them to
+//     the active segment (rotating at segment_bytes), and fdatasyncs once —
+//     one device sync per commit group, the same group-commit accounting the
+//     in-memory StableLog reports to the sim disk.
+//   * drop_prefix(n) persists the new start index to log.meta FIRST (atomic
+//     replace), then deletes wholly-covered segments.  A crash between the
+//     two steps leaves dead segments that the next open skips (meta floor)
+//     and deletes.  A partially-covered segment stays; its covered records
+//     are filtered out at open by the meta floor.
+//
+// Recovery (the constructor) scans segments in name order, accepting records
+// until the first invalid byte — torn header, bad length, CRC mismatch —
+// then truncates the torn tail in place and discards any later segment
+// (strict truncation, mirroring net::FrameDecoder's teardown idiom).  A
+// segment whose base index does not chain onto the previous segment's end is
+// discarded too: it is unreachable garbage from an interrupted reduction.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "storage/backend.h"
+#include "storage/disk/disk_io.h"
+#include "util/bytes.h"
+
+namespace corona::disk {
+
+class DiskLog final : public LogBackend {
+ public:
+  // Opens (creating if absent) the log rooted at `dir` and recovers its
+  // durable records.  `counters` (owned by the DiskEnv) must outlive this.
+  DiskLog(std::string dir, std::size_t segment_bytes, DiskCounters* counters);
+
+  void append(Bytes record) override;
+  std::size_t flush() override;
+  void crash() override;
+  void drop_prefix(std::size_t n) override;
+
+  std::size_t size() const override { return records_.size(); }
+  std::size_t durable_size() const override { return durable_count_; }
+  std::size_t unflushed() const override {
+    return records_.size() - durable_count_;
+  }
+  const Bytes& record(std::size_t i) const override { return records_.at(i); }
+
+  std::uint64_t bytes_appended() const override { return bytes_appended_; }
+  std::uint64_t bytes_flushed() const override { return bytes_flushed_; }
+  std::uint64_t pending_bytes() const override;
+
+  std::uint64_t commits() const override { return commits_; }
+  std::uint64_t records_flushed() const override { return records_flushed_; }
+  std::size_t max_commit_records() const override {
+    return max_commit_records_;
+  }
+
+  // Disk-shape introspection (tests, DiskEnv stats).
+  std::size_t segment_count() const { return segments_.size(); }
+  // Logical index of record(0); records before this were dropped.
+  std::uint64_t start_index() const { return base_global_; }
+
+ private:
+  struct Segment {
+    std::uint64_t base = 0;  // logical index of its first record
+    std::size_t count = 0;   // records it holds (flushed only)
+    std::size_t bytes = 0;   // current file size
+    std::string name;
+  };
+
+  std::string seg_path(const Segment& seg) const { return dir_ + "/" + seg.name; }
+  void recover();
+  // Makes sure the active segment can take the record at logical index
+  // `next_index`, rotating to a fresh segment when the current one is full.
+  void ensure_active(std::uint64_t next_index);
+  void start_segment(std::uint64_t base);
+
+  std::string dir_;
+  std::size_t segment_bytes_;
+  DiskCounters* counters_;
+
+  std::deque<Bytes> records_;      // live view: records_[i] has logical
+  std::uint64_t base_global_ = 0;  // index base_global_ + i
+  std::size_t durable_count_ = 0;
+
+  std::vector<Segment> segments_;
+  AppendFile active_;  // when open, appends to segments_.back()
+
+  std::uint64_t bytes_appended_ = 0;
+  std::uint64_t bytes_flushed_ = 0;
+  std::uint64_t commits_ = 0;
+  std::uint64_t records_flushed_ = 0;
+  std::size_t max_commit_records_ = 0;
+};
+
+}  // namespace corona::disk

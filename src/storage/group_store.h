@@ -9,16 +9,24 @@
 // persistent groups with their snapshot and every *flushed* update.  Unflushed
 // updates are lost, matching the paper's §6 crash model, and are re-fetched
 // from original senders by the recovery protocol (src/replica/recovery.*).
+//
+// GroupStore programs against the backend interfaces (storage/backend.h).
+// Default-constructed it runs on the in-memory env (storage/mem_env.h); given
+// a StorageEnv* it runs on that backend instead — hand it a disk::DiskEnv and
+// the same call sequence becomes genuinely durable.  Constructing a
+// GroupStore over a reopened DiskEnv re-attaches every group that has a
+// durable checkpoint (and reaps orphan logs of groups that never got one),
+// so recover() works identically across a real process restart.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "serial/message.h"
-#include "storage/checkpoint_store.h"
-#include "storage/stable_log.h"
+#include "storage/backend.h"
 #include "util/ids.h"
 #include "util/result.h"
 
@@ -42,6 +50,12 @@ struct RecoveredGroup {
 
 class GroupStore {
  public:
+  // In-memory backend (owned).
+  GroupStore();
+  // Runs on `env`, which must outlive this store.  Re-attaches every group
+  // with a durable checkpoint, reopening its log.
+  explicit GroupStore(StorageEnv* env);
+
   // Creates durable structures for a group (staged; durable at flush()).
   void create_group(const GroupMeta& meta,
                     const std::vector<StateEntry>& initial_state);
@@ -75,15 +89,20 @@ class GroupStore {
  private:
   struct PerGroup {
     GroupMeta meta;
-    StableLog log;
+    std::unique_ptr<LogBackend> log;
   };
 
   static std::string checkpoint_key(GroupId id);
   Bytes encode_checkpoint(const GroupMeta& meta, SeqNo base_seq,
                           const std::vector<StateEntry>& snapshot) const;
+  CheckpointBackend& checkpoints() { return env_->checkpoints(); }
+  const CheckpointBackend& checkpoints() const {
+    return static_cast<const StorageEnv*>(env_)->checkpoints();
+  }
 
+  std::unique_ptr<StorageEnv> owned_env_;  // set only by the default ctor
+  StorageEnv* env_;
   std::unordered_map<GroupId, PerGroup> groups_;
-  CheckpointStore checkpoints_;
 };
 
 }  // namespace corona

@@ -1,0 +1,33 @@
+// The in-memory StorageEnv: StableLog + CheckpointStore behind the backend
+// interfaces.  This is what a default-constructed GroupStore runs on — the
+// sim's "stable storage in RAM, disk timing modeled separately" setup — and
+// the reference model the durable backend is tested against.
+#pragma once
+
+#include <memory>
+
+#include "storage/backend.h"
+#include "storage/checkpoint_store.h"
+#include "storage/stable_log.h"
+
+namespace corona {
+
+class MemStorageEnv final : public StorageEnv {
+ public:
+  std::unique_ptr<LogBackend> open_log(GroupId /*id*/) override {
+    return std::make_unique<StableLog>();
+  }
+  // A StableLog's storage dies with the LogBackend object itself.
+  void remove_log(GroupId /*id*/) override {}
+  std::vector<GroupId> list_logs() const override { return {}; }
+
+  CheckpointBackend& checkpoints() override { return checkpoints_; }
+  const CheckpointBackend& checkpoints() const override {
+    return checkpoints_;
+  }
+
+ private:
+  CheckpointStore checkpoints_;
+};
+
+}  // namespace corona

@@ -298,5 +298,58 @@ TEST(BatchDegenerate, BatchOneLeavesNoBatchingFootprint) {
   EXPECT_EQ(server.stats().messages_sequenced, script.size());
 }
 
+// A threshold drain must CANCEL the armed delay timer, not merely beat it.
+// If the cancel is skipped (the timer handle leaks), the stale timer stays
+// scheduled and the next message enqueued after the drain rides it out the
+// door early — before its own batch_max_delay has elapsed — and, because
+// batch_timer_ still looks armed, no fresh timer is ever set for it.  The
+// observable contract: a solo message that never reaches the threshold is
+// delivered no earlier than its enqueue time plus the full delay bound.
+TEST(BatchTimerDiscipline, ThresholdDrainCancelsDelayTimer) {
+  SimRuntime rt;
+  GroupStore store;
+  ServerConfig cfg;
+  cfg.batch_max_msgs = 3;
+  cfg.batch_max_delay = 500 * kMillisecond;
+  CoronaServer server(cfg, &store);
+  rt.add_node(testing::kServerId, &server,
+              rt.network().add_host(HostProfile{}));
+  std::vector<TimePoint> delivered_at;
+  CoronaClient::Callbacks cb;
+  cb.on_deliver = [&rt, &delivered_at](GroupId, const UpdateRecord&) {
+    delivered_at.push_back(rt.now());
+  };
+  CoronaClient client(testing::kServerId, cb);
+  rt.add_node(client_id(0), &client, rt.network().add_host(HostProfile{}));
+  rt.start();
+  rt.run_for(100 * kMillisecond);
+  client.create_group(kG, "timer-discipline", true);
+  rt.run_for(100 * kMillisecond);
+  client.join(kG);
+  rt.run_for(200 * kMillisecond);
+
+  // Burst to exactly the threshold: the delay timer armed by the first
+  // message must be canceled by the drain.
+  for (int i = 0; i < 3; ++i) {
+    client.bcast_update(kG, ObjectId{1}, to_bytes("burst"));
+  }
+  rt.run_for(100 * kMillisecond);
+  ASSERT_EQ(delivered_at.size(), 3u) << "threshold drain did not deliver";
+
+  // A single follow-up, sent well inside what the stale timer's window
+  // would be.  Correct code arms a fresh timer at its arrival; leaked-timer
+  // code ships it when the stale timer (armed at the burst) fires.
+  const TimePoint sent_at = rt.now();
+  client.bcast_update(kG, ObjectId{1}, to_bytes("straggler"));
+  rt.run_for(450 * kMillisecond);  // stale timer would have fired by now
+  EXPECT_EQ(delivered_at.size(), 3u)
+      << "straggler shipped early on a timer armed before it was enqueued";
+
+  rt.run_for(300 * kMillisecond);
+  ASSERT_EQ(delivered_at.size(), 4u) << "straggler never delivered";
+  EXPECT_GE(delivered_at.back(), sent_at + cfg.batch_max_delay)
+      << "solo message delivered before its own batch_max_delay elapsed";
+}
+
 }  // namespace
 }  // namespace corona

@@ -1,0 +1,274 @@
+// Deterministic corruption fuzzing of the durable storage formats — the
+// seeded twin of fuzz/storage_fuzz.cc, run in every build.
+//
+// The invariant under attack is the recovery contract (docs/STORAGE.md):
+// whatever happens to the bytes on disk, a scan must (a) never crash or read
+// out of bounds, (b) return only records that were genuinely written —
+// corruption may truncate the record sequence, never alter a record or
+// resurrect a discarded one, and (c) leave the log in a state where
+// appending and re-scanning still works.
+//
+// Modeled on tests/net_frame_fuzz_test.cc: build valid images, mutilate them
+// deterministically (truncation at every offset, seeded bitflips, spliced
+// frames, garbage tails), and assert the prefix property at both the buffer
+// level (scan_segment) and the file level (DiskLog reopen).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "storage/disk/disk_checkpoint.h"
+#include "storage/disk/disk_format.h"
+#include "storage/disk/disk_io.h"
+#include "storage/disk/disk_log.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace corona {
+namespace {
+
+using disk::DiskCounters;
+using disk::scan_segment;
+using disk::SegmentScan;
+
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/corona_storage_fuzz_XXXXXX";
+    const char* p = ::mkdtemp(tmpl);
+    EXPECT_NE(p, nullptr);
+    path_ = p != nullptr ? p : "";
+  }
+  ~TempDir() {
+    if (!path_.empty()) disk::remove_tree(path_);
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::vector<Bytes> make_records(Rng& rng, std::size_t n) {
+  std::vector<Bytes> records;
+  records.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    records.push_back(filler_bytes(rng.next_below(64),
+                                   static_cast<std::uint8_t>(rng.next_u64())));
+  }
+  return records;
+}
+
+Bytes build_segment(std::uint64_t base, const std::vector<Bytes>& records) {
+  Bytes buf;
+  disk::append_segment_header(buf, base);
+  for (const Bytes& r : records) disk::append_record(buf, r);
+  return buf;
+}
+
+// The core oracle: everything the scan returns must be a genuine written
+// record, in order, from the start — corruption only ever truncates.
+void expect_prefix(const SegmentScan& scan, const std::vector<Bytes>& truth) {
+  ASSERT_LE(scan.records.size(), truth.size());
+  for (std::size_t i = 0; i < scan.records.size(); ++i) {
+    ASSERT_EQ(scan.records[i], truth[i]) << "record " << i << " altered";
+  }
+}
+
+TEST(StorageFuzz, TruncationAtEveryOffsetYieldsValidPrefix) {
+  Rng rng(0xc0ffee);
+  const std::vector<Bytes> records = make_records(rng, 8);
+  const Bytes full = build_segment(3, records);
+  for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+    Bytes buf(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(cut));
+    const SegmentScan scan = scan_segment(buf);
+    expect_prefix(scan, records);
+    if (cut == full.size()) {
+      EXPECT_EQ(scan.records.size(), records.size());
+      EXPECT_FALSE(scan.truncated);
+    } else {
+      EXPECT_TRUE(scan.truncated || scan.records.size() < records.size() ||
+                  !scan.header_ok);
+    }
+  }
+}
+
+TEST(StorageFuzz, SeededBitflipsNeverResurrectOrAlter) {
+  for (std::uint64_t seed = 1; seed <= 300; ++seed) {
+    Rng rng(seed);
+    const std::vector<Bytes> records = make_records(rng, 6);
+    Bytes buf = build_segment(rng.next_below(1000), records);
+    // 1..4 independent bitflips anywhere in the image.
+    const std::size_t flips = 1 + rng.next_below(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      buf[rng.next_below(buf.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.next_below(8));
+    }
+    const SegmentScan scan = scan_segment(buf);
+    expect_prefix(scan, records);
+  }
+}
+
+TEST(StorageFuzz, GarbageTailsAreCut) {
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    Rng rng(seed * 77);
+    const std::vector<Bytes> records = make_records(rng, 4);
+    Bytes buf = build_segment(0, records);
+    const std::size_t tail = 1 + rng.next_below(40);
+    for (std::size_t i = 0; i < tail; ++i) {
+      buf.push_back(static_cast<std::uint8_t>(rng.next_u64()));
+    }
+    const SegmentScan scan = scan_segment(buf);
+    expect_prefix(scan, records);
+  }
+}
+
+TEST(StorageFuzz, SplicedForeignTailIsNotMisattributed) {
+  // Splice: a torn write leaves the tail of an OLD segment image past the
+  // truncation point of the new one.  Any record the scan accepts from the
+  // spliced region must still be a byte-exact real record — never a blend.
+  Rng rng(0x5eed);
+  const std::vector<Bytes> current = make_records(rng, 4);
+  const std::vector<Bytes> old = make_records(rng, 4);
+  Bytes buf = build_segment(0, current);
+  const Bytes old_image = build_segment(0, old);
+  // Chop the current image mid-record, then splice old-image bytes on.
+  buf.resize(buf.size() - 3);
+  buf.insert(buf.end(),
+             old_image.begin() +
+                 static_cast<std::ptrdiff_t>(disk::kSegmentHeaderBytes),
+             old_image.end());
+  const SegmentScan scan = scan_segment(buf);
+  // The torn record's header no longer matches the spliced bytes, so the
+  // scan stops at or before it; nothing it returns may mix the two images.
+  ASSERT_LE(scan.records.size(), current.size());
+  for (std::size_t i = 0; i < scan.records.size(); ++i) {
+    EXPECT_EQ(scan.records[i], current[i]);
+  }
+}
+
+TEST(StorageFuzz, RandomGarbageBuffersNeverCrashAnyDecoder) {
+  for (std::uint64_t seed = 1; seed <= 400; ++seed) {
+    Rng rng(seed * 0x9e3779b9u);
+    Bytes buf(rng.next_below(300));
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng.next_u64());
+    const SegmentScan scan = scan_segment(buf);
+    // Whatever comes back must be internally consistent.
+    EXPECT_LE(scan.valid_bytes, buf.size());
+    (void)disk::decode_checkpoint_file(buf);
+    (void)disk::decode_log_meta(buf);
+  }
+}
+
+TEST(StorageFuzz, CheckpointBufferBitflipsAlwaysRejectWhole) {
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    Rng rng(seed + 31337);
+    const std::string key = "group/" + std::to_string(rng.next_below(50));
+    const Bytes blob = filler_bytes(rng.next_below(120));
+    Bytes file = disk::encode_checkpoint_file(key, blob);
+    file[rng.next_below(file.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.next_below(8));
+    const auto decoded = disk::decode_checkpoint_file(file);
+    // A checkpoint is atomic: it decodes byte-identical or not at all.
+    if (decoded.has_value()) {
+      EXPECT_EQ(decoded->key, key);
+      EXPECT_EQ(decoded->blob, blob);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// File-level: mutilate a real log directory, reopen, assert the same prefix
+// property — and that the recovered log still takes appends.
+// ---------------------------------------------------------------------------
+
+TEST(StorageFuzz, CorruptedLogDirectoryRecoversToValidPrefixAndStaysUsable) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    TempDir dir;
+    DiskCounters counters;
+    Rng rng(seed * 1315423911u);
+    const std::string path = dir.path() + "/log";
+    std::vector<Bytes> truth;
+    {
+      disk::DiskLog log(path, 160, &counters);
+      const std::size_t n = 5 + rng.next_below(20);
+      for (std::size_t i = 0; i < n; ++i) {
+        Bytes rec = filler_bytes(rng.next_below(48),
+                                 static_cast<std::uint8_t>(rng.next_u64()));
+        truth.push_back(rec);
+        log.append(std::move(rec));
+        if (rng.next_bool(0.6)) log.flush();
+      }
+      const std::size_t durable = log.durable_size();
+      truth.resize(durable);  // the unflushed tail is not on disk
+    }
+    // Mutilate one random segment file: truncate, flip, or append garbage.
+    std::vector<std::string> segs;
+    for (const std::string& f : disk::list_files(path)) {
+      if (f.starts_with("seg-")) segs.push_back(f);
+    }
+    if (!segs.empty() && rng.next_bool(0.8)) {
+      const std::string victim =
+          path + "/" + segs[rng.next_below(segs.size())];
+      Bytes content = *disk::read_file(victim);
+      const std::uint64_t kind = rng.next_below(3);
+      if (kind == 0 && !content.empty()) {
+        content.resize(rng.next_below(content.size()));
+      } else if (kind == 1 && !content.empty()) {
+        content[rng.next_below(content.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.next_below(8));
+      } else {
+        const std::size_t tail = 1 + rng.next_below(30);
+        for (std::size_t i = 0; i < tail; ++i) {
+          content.push_back(static_cast<std::uint8_t>(rng.next_u64()));
+        }
+      }
+      disk::atomic_write_file(victim, content, &counters);
+    }
+    std::size_t recovered_count = 0;
+    {
+      disk::DiskLog log(path, 160, &counters);
+      ASSERT_LE(log.size(), truth.size());
+      const std::uint64_t start = log.start_index();
+      for (std::size_t i = 0; i < log.size(); ++i) {
+        ASSERT_EQ(log.record(i), truth[start + i]) << "record altered";
+      }
+      recovered_count = log.size();
+      // The survivor must still take writes.
+      log.append(to_bytes("post-corruption"));
+      log.flush();
+    }
+    // And a second recovery sees the new record chained on cleanly.
+    disk::DiskLog log(path, 160, &counters);
+    ASSERT_EQ(log.size(), recovered_count + 1);
+    EXPECT_EQ(to_string(log.record(log.size() - 1)), "post-corruption");
+  }
+}
+
+TEST(StorageFuzz, SplicedCheckpointFileUnderWrongNameIsDropped) {
+  TempDir dir;
+  DiskCounters counters;
+  const std::string path = dir.path() + "/ckpt";
+  {
+    disk::DiskCheckpointStore cs(path, &counters);
+    cs.put("group/1", to_bytes("one"));
+    cs.put("group/2", to_bytes("two"));
+    cs.flush();
+  }
+  // Copy group/1's (internally valid) file over group/2's: the embedded key
+  // no longer matches the filename, so the splice must be rejected, not
+  // silently served as group/2's checkpoint.
+  const std::vector<std::string> files = disk::list_files(path);
+  ASSERT_EQ(files.size(), 2u);
+  const Bytes first = *disk::read_file(path + "/" + files[0]);
+  disk::atomic_write_file(path + "/" + files[1], first, &counters);
+  disk::DiskCheckpointStore cs(path, &counters);
+  EXPECT_EQ(cs.durable_keys(), (std::vector<std::string>{"group/1"}));
+  EXPECT_GT(counters.corrupt_files_dropped, 0u);
+}
+
+}  // namespace
+}  // namespace corona

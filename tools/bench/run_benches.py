@@ -44,6 +44,7 @@ BENCHES = [
     "table1_throughput",
     "table2_replicated",
     "ablation_batching",
+    "ablation_durability",
 ]
 
 # Reserved top-level baseline key holding per-metric thresholds, not metrics.

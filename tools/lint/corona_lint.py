@@ -58,6 +58,16 @@ Rules (see docs/ANALYSIS.md for the full contract):
                  lock_order.py see every acquisition.  std::thread itself
                  stays raw-thread's business (spawning is not locking).
 
+  raw-file-io    src/** except storage/disk/
+                 No fopen/freopen/open(2)/creat/openat/mkstemp, no
+                 std::{i,o,}fstream, no std::filesystem.  Durability is a
+                 protocol property here: every byte that must survive a
+                 crash goes through the storage/disk/ backend, which owns
+                 the fsync discipline, atomic-replace idiom, and failure
+                 policy.  A stray ofstream silently loses data on power
+                 loss and dodges the disk counters.  Waive (`file-io-ok`)
+                 only for config/diagnostic files whose loss is harmless.
+
   float-accum    src/sim
                  No float/double in sim cost models without an explicit
                  waiver: accumulating floats makes results depend on
@@ -199,6 +209,21 @@ RULES = [
         "raw std locking primitive; all locking goes through the annotated "
         "corona::Mutex/MutexLock/CondVar wrappers (util/sync.h) so the "
         "clang thread-safety build and lock_order.py can see it",
+    ),
+    Rule(
+        "raw-file-io",
+        "file-io",
+        everywhere_except("storage/disk/"),
+        re.compile(
+            r"\bf(?:re|d)?open\s*\(|\bcreat\s*\(|\bopenat\s*\(|\bopen\s*\("
+            r"|\bmkstemps?\s*\(|\btmpfile\s*\("
+            r"|std::(?:basic_)?[io]?fstream\b|\b[io]fstream\b"
+            r"|std::filesystem\b"
+        ),
+        "raw file I/O outside src/storage/disk/; durable bytes must go "
+        "through the disk backend (fsync discipline, atomic replace, "
+        "failure policy, disk counters) — or waive a harmless "
+        "config/diagnostic read with a justification",
     ),
     Rule(
         "float-accum",

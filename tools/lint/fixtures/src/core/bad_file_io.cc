@@ -1,0 +1,21 @@
+// Fixture: raw file I/O in protocol code — durable bytes must go through
+// the storage/disk/ backend.  The fopen, the ofstream, and the open(2) are
+// flagged; the waived diagnostic read on the last line is not.
+#include <cstdio>
+#include <fstream>
+
+namespace fixture {
+
+void persist_state(const char* path) {
+  FILE* f = fopen(path, "wb");
+  if (f) fclose(f);
+  std::ofstream out(path);
+  int fd = ::open(path, 0);
+  (void)fd;
+}
+
+void read_config(const char* path) {
+  std::ifstream in(path);  // startup-only config read; lint: file-io-ok
+}
+
+}  // namespace fixture

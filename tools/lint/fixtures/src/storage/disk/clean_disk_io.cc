@@ -1,0 +1,16 @@
+// Fixture: storage/disk/ is the sanctioned home of raw file I/O — the
+// raw-file-io rule must stay silent here without any waiver.
+#include <cstdio>
+#include <fstream>
+
+namespace fixture {
+
+void backend_write(const char* path) {
+  FILE* f = fopen(path, "wb");
+  if (f) fclose(f);
+  int fd = ::open(path, 0);
+  (void)fd;
+  std::ofstream out(path);
+}
+
+}  // namespace fixture

@@ -63,6 +63,9 @@ class FixtureTree(unittest.TestCase):
             ("src/net/bad_net.cc", 9, "unordered-container"),
             ("src/net/bad_net.cc", 12, "raw-random"),
             ("src/net/bad_net.cc", 17, "unordered-iteration"),
+            ("src/core/bad_file_io.cc", 10, "raw-file-io"),
+            ("src/core/bad_file_io.cc", 12, "raw-file-io"),
+            ("src/core/bad_file_io.cc", 13, "raw-file-io"),
             ("src/core/bad_erase.cc", 12, "erase-in-range-for"),
             ("src/core/bad_erase.cc", 18, "erase-in-range-for"),
             ("src/core/bad_dispatch.cc", 7, "dispatch-exhaustiveness"),
@@ -112,6 +115,18 @@ class FixtureTree(unittest.TestCase):
                         "class Mutex { std::mutex mu_; };\n")
             found = [v for v in lint(os.path.join(tmp, "src"))]
         self.assertEqual(found, [])
+
+    def test_file_io_fixture_flags_only_unwaived_sites(self):
+        path = os.path.join(FIXTURES, "src", "core", "bad_file_io.cc")
+        found = sorted((v.line, v.rule) for v in lint(path))
+        self.assertEqual(found, [(10, "raw-file-io"), (12, "raw-file-io"),
+                                 (13, "raw-file-io")])
+
+    def test_file_io_exempts_disk_backend(self):
+        # storage/disk/ is the one sanctioned home of raw file I/O.
+        path = os.path.join(FIXTURES, "src", "storage", "disk",
+                            "clean_disk_io.cc")
+        self.assertEqual(lint(path), [])
 
     def test_file_waiver_covers_whole_file(self):
         path = os.path.join(FIXTURES, "src", "core", "clean_waived.cc")
