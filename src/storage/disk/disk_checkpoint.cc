@@ -32,10 +32,12 @@ std::string DiskCheckpointStore::key_path(const std::string& key) const {
 }
 
 void DiskCheckpointStore::load() {
+  bool removed = false;
   for (const std::string& name : list_files(dir_)) {
     const std::string path = dir_ + "/" + name;
     if (name.ends_with(".tmp")) {  // interrupted atomic replace
       remove_file(path);
+      removed = true;
       continue;
     }
     if (!name.ends_with(".ckpt")) continue;
@@ -44,11 +46,14 @@ void DiskCheckpointStore::load() {
     if (buf) file = decode_checkpoint_file(*buf);
     if (!file || hex_encode(file->key) + ".ckpt" != name) {
       remove_file(path);
+      removed = true;
       ++counters_->corrupt_files_dropped;
       continue;
     }
     committed_[file->key] = file->blob;
   }
+  // Make the unlinks durable, matching flush()'s erase path.
+  if (removed) sync_dir(dir_, counters_);
 }
 
 void DiskCheckpointStore::put(const std::string& key, Bytes blob) {

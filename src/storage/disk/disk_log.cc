@@ -28,6 +28,7 @@ void DiskLog::recover() {
   // The drop_prefix floor: records with a lower logical index are covered by
   // a checkpoint even if their segment still exists.
   std::uint64_t start = 0;
+  bool removed_or_truncated = false;
   const std::string meta_path = dir_ + "/" + kMetaName;
   if (auto buf = read_file(meta_path)) {
     if (auto s = decode_log_meta(*buf)) {
@@ -36,6 +37,7 @@ void DiskLog::recover() {
       // Corrupt meta degrades to start 0; GroupStore filters resurrected
       // records by sequence number against the checkpoint base.
       remove_file(meta_path);
+      removed_or_truncated = true;
       ++counters_->corrupt_files_dropped;
     }
   }
@@ -47,12 +49,14 @@ void DiskLog::recover() {
   for (const std::string& name : list_files(dir_)) {
     if (name.ends_with(".tmp")) {  // interrupted atomic replace
       remove_file(dir_ + "/" + name);
+      removed_or_truncated = true;
       continue;
     }
     if (!name.starts_with("seg-") || !name.ends_with(".log")) continue;
     const std::string path = dir_ + "/" + name;
     if (chain_broken) {  // nothing past a torn point survives
       remove_file(path);
+      removed_or_truncated = true;
       ++counters_->corrupt_files_dropped;
       continue;
     }
@@ -60,6 +64,7 @@ void DiskLog::recover() {
     const SegmentScan scan = buf ? scan_segment(*buf) : SegmentScan{};
     if (!scan.header_ok || (have_prev && scan.base_index != expect)) {
       remove_file(path);
+      removed_or_truncated = true;
       ++counters_->corrupt_files_dropped;
       chain_broken = true;
       continue;
@@ -67,6 +72,7 @@ void DiskLog::recover() {
     if (scan.truncated) {
       counters_->truncated_bytes += buf->size() - scan.valid_bytes;
       truncate_file(path, scan.valid_bytes, counters_);
+      removed_or_truncated = true;
       chain_broken = true;  // later segments postdate the torn tail
     }
     Segment seg;
@@ -85,6 +91,12 @@ void DiskLog::recover() {
     segments_.push_back(std::move(seg));
   }
 
+  // The unlinks above are just dirty directory pages until the directory is
+  // synced; a later power loss could resurrect a dropped segment, and a
+  // resurrected *valid* stale segment can chain onto a rebuilt log once
+  // truncation shifts rotation points.
+  if (removed_or_truncated) sync_dir(dir_, counters_);
+
   // records_[i] must carry logical index base_global_ + i.  Normally the
   // kept records start exactly at the meta floor; if the floor is missing
   // (degraded to 0) they start at the first surviving segment's base.
@@ -102,6 +114,12 @@ void DiskLog::append(Bytes record) {
 }
 
 void DiskLog::start_segment(std::uint64_t base) {
+  // A flush() commit group can span a rotation, and the end-of-flush sync
+  // only reaches the final active segment.  The outgoing segment must hit
+  // the device at the hand-off, or a power loss after flush() returns tears
+  // the acknowledged batch's records out of the old segment — and recovery's
+  // chain-break rule then discards the newer segments too.
+  if (active_.is_open()) active_.sync();
   active_.close();
   Segment seg;
   seg.base = base;

@@ -88,8 +88,14 @@ void GroupStore::create_group(const GroupMeta& meta,
 
 void GroupStore::remove_group(GroupId id) {
   groups_.erase(id);
-  env_->remove_log(id);
+  // Same WAL ordering rule as install_checkpoint, mirrored: the durable
+  // identity (the checkpoint) must be gone BEFORE its log storage is
+  // reclaimed.  Destroying the log first would let a crash in between
+  // resurrect the group at its checkpoint base with every flushed update
+  // above base_seq permanently lost.
   checkpoints().erase(checkpoint_key(id));
+  checkpoints().flush();
+  env_->remove_log(id);
 }
 
 bool GroupStore::has_group(GroupId id) const { return groups_.contains(id); }

@@ -59,6 +59,8 @@ class GroupStore {
   // Creates durable structures for a group (staged; durable at flush()).
   void create_group(const GroupMeta& meta,
                     const std::vector<StateEntry>& initial_state);
+  // Durable immediately (flushes the checkpoint erase before reclaiming the
+  // group's log storage — the WAL ordering rule, same as install_checkpoint).
   void remove_group(GroupId id);
   bool has_group(GroupId id) const;
 

@@ -308,6 +308,56 @@ TEST(DiskLog, TornTailIsTruncatedOnReopen) {
   EXPECT_EQ(to_string(log.record(2)), "after");
 }
 
+TEST(DiskLog, FlushSpanningRotationSyncsEverySegmentTouched) {
+  TempDir dir;
+  DiskCounters counters;
+  disk::DiskLog log(dir.path() + "/log", kSmallSegment, &counters);
+  for (int i = 0; i < 12; ++i) {
+    log.append(filler_bytes(32, static_cast<std::uint8_t>(i)));
+  }
+  const std::uint64_t before = counters.fsyncs;
+  ASSERT_EQ(log.flush(), 12u);
+  ASSERT_GT(log.segment_count(), 2u);
+  // Every segment the commit group touched must be synced before flush()
+  // returns, not just the final active one: one data sync per rotation
+  // hand-off plus the end-of-flush sync (segment creation contributes one
+  // directory sync each).  Syncing only the last segment would acknowledge
+  // records that a power loss can tear out of the rotated-out segments.
+  EXPECT_GE(counters.fsyncs - before, 2u * log.segment_count() - 1);
+}
+
+TEST(DiskLog, RecoveryDroppingSegmentsSyncsTheDirectory) {
+  TempDir dir;
+  DiskCounters counters;
+  const std::string path = dir.path() + "/log";
+  {
+    disk::DiskLog log(path, kSmallSegment, &counters);
+    for (int i = 0; i < 20; ++i) {
+      log.append(filler_bytes(32, static_cast<std::uint8_t>(i)));
+      log.flush();
+    }
+  }
+  // Corrupt the SECOND segment's header: recovery keeps segment one, then
+  // unlinks the corrupt segment and everything after it (chain break) —
+  // removals only, no truncation.
+  std::vector<std::string> segs;
+  for (const std::string& f : disk::list_files(path)) {
+    if (f.starts_with("seg-")) segs.push_back(path + "/" + f);
+  }
+  ASSERT_GT(segs.size(), 2u);
+  Bytes content = *disk::read_file(segs[1]);
+  content[1] ^= 0xff;  // break the magic
+  disk::atomic_write_file(segs[1], content, &counters);
+
+  const std::uint64_t before = counters.fsyncs;
+  disk::DiskLog log(path, kSmallSegment, &counters);
+  EXPECT_GT(counters.corrupt_files_dropped, 0u);
+  // The unlinks are dirty directory pages until the directory itself is
+  // synced; without it a later power loss can resurrect a dropped-but-valid
+  // stale segment that chains onto the rebuilt log.
+  EXPECT_GT(counters.fsyncs, before);
+}
+
 TEST(DiskLog, CorruptionInEarlySegmentDropsLaterSegments) {
   TempDir dir;
   DiskCounters counters;
@@ -492,6 +542,26 @@ TEST(DiskGroupStore, RemovedGroupStaysGoneAfterReopen) {
     gs.flush();
     gs.remove_group(GroupId{1});
     gs.flush();
+  }
+  DiskEnv env(DiskEnvConfig{dir.path() + "/data", 256});
+  GroupStore gs(&env);
+  EXPECT_TRUE(gs.recover().empty());
+  EXPECT_TRUE(env.list_logs().empty());
+}
+
+TEST(DiskGroupStore, RemoveGroupIsDurableBeforeLogStorageIsReclaimed) {
+  TempDir dir;
+  {
+    DiskEnv env(DiskEnvConfig{dir.path() + "/data", 256});
+    GroupStore gs(&env);
+    gs.create_group(GroupMeta{GroupId{1}, "g", true}, {});
+    gs.append_update(GroupId{1}, mk_update(1, ObjectId{1}, to_bytes("x")));
+    gs.flush();
+    gs.remove_group(GroupId{1});
+    // NO flush: the process dies right after remove_group returns.  The
+    // checkpoint erase must already be durable when the log storage goes —
+    // otherwise restart finds a durable checkpoint with its log destroyed
+    // and resurrects the group at base_seq with every flushed update lost.
   }
   DiskEnv env(DiskEnvConfig{dir.path() + "/data", 256});
   GroupStore gs(&env);
