@@ -78,20 +78,20 @@ CellResult run_cell(std::size_t flush_batch, std::size_t ckpt_interval) {
     disk::DiskEnv env(disk::DiskEnvConfig{root, kSegmentBytes});
     GroupStore gs(&env);
     gs.create_group(GroupMeta{kGroup, "bench", true}, {});
-    gs.flush();
+    (void)gs.flush();
     const std::uint64_t fsyncs_before = env.stats().fsyncs;
     const auto t0 = std::chrono::steady_clock::now();
     SeqNo base = 0;
     for (SeqNo seq = 1; seq <= kMessages; ++seq) {
       gs.append_update(kGroup, update_for(seq));
-      if (seq % flush_batch == 0) gs.flush();
+      if (seq % flush_batch == 0) (void)gs.flush();
       if (ckpt_interval != 0 && seq % ckpt_interval == 0) {
         gs.install_checkpoint(
             kGroup, seq, {StateEntry{ObjectId{0}, filler_bytes(256, 7)}});
         base = seq;
       }
     }
-    gs.flush();
+    (void)gs.flush();
     (void)base;
     const double ingest_ms = elapsed_ms(t0);
     out.ingest_msgs_per_sec = kMessages / (ingest_ms / 1000.0);

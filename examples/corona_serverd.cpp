@@ -204,7 +204,7 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(s.frames_sent));
   if (disk_env != nullptr) {
     // Final flush so a clean shutdown loses nothing, then the disk ledger.
-    store->flush();
+    (void)store->flush();
     const disk::DiskCounters& d = disk_env->stats();
     std::printf(
         "corona-serverd: disk fsyncs=%llu bytes=%llu segments=+%llu/-%llu "

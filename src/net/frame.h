@@ -59,10 +59,11 @@ struct Frame {
   Bytes message_wire;               // kMessage: Message::encode() bytes
 };
 
-Bytes encode_hello_frame(const std::vector<NodeId>& local_nodes);
-Bytes encode_message_frame(NodeId from, NodeId to, BytesView message_wire);
-Bytes encode_ping_frame();
-Bytes encode_pong_frame();
+[[nodiscard]] Bytes encode_hello_frame(const std::vector<NodeId>& local_nodes);
+[[nodiscard]] Bytes encode_message_frame(NodeId from, NodeId to,
+                                         BytesView message_wire);
+[[nodiscard]] Bytes encode_ping_frame();
+[[nodiscard]] Bytes encode_pong_frame();
 
 // Incremental reassembler.  feed() raw stream chunks in arrival order, then
 // drain complete frames with next() until it reports kNeedMore.  Once the
@@ -79,8 +80,9 @@ class FrameDecoder {
   void feed(BytesView chunk) { feed(chunk.data(), chunk.size()); }
 
   // Extracts the next complete frame into *out.  kNeedMore leaves *out
-  // untouched; kCorrupt is terminal.
-  Next next(Frame* out);
+  // untouched; kCorrupt is terminal.  Dropping the verdict would lose the
+  // corrupt-stream signal, so it is nodiscard.
+  [[nodiscard]] Next next(Frame* out);
 
   bool corrupt() const { return corrupt_; }
   std::size_t buffered_bytes() const { return buf_.size() - pos_; }

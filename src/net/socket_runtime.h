@@ -48,6 +48,7 @@
 #include "net/address.h"
 #include "net/frame.h"
 #include "runtime/runtime.h"
+#include "util/context.h"
 #include "util/sync.h"
 
 namespace corona::net {
@@ -174,17 +175,21 @@ class SocketRuntime : public Runtime {
     std::size_t pending_bytes = 0;
   };
 
-  void loop();
+  // loop() is the loop-context root; every callback it dispatches runs on
+  // the epoll thread.  The syscall-bearing helpers below are certified
+  // non-blocking: every fd they touch is O_NONBLOCK (sockets, eventfd,
+  // listener), so writes/reads return EAGAIN instead of parking the loop.
+  CORONA_LOOP_CONTEXT void loop();
   void drain_ops();
   void apply_send(NodeId from, NodeId to, Bytes wire);
   void apply_send_batch(NodeId from, NodeId to, std::vector<Bytes> wires);
   void queue_on_conn(Conn& c, Bytes frame);
-  void flush_conn(Conn& c);
+  CORONA_NONBLOCKING void flush_conn(Conn& c);
   void update_epoll(Conn& c, bool want_write);
-  void start_connect(NodeId peer_id, Peer& peer);
+  CORONA_NONBLOCKING void start_connect(NodeId peer_id, Peer& peer);
   void schedule_reconnect(NodeId peer_id, Peer& peer);
   void on_connect_ready(Conn& c);
-  void on_readable(Conn& c);
+  CORONA_NONBLOCKING void on_readable(Conn& c);
   void handle_frame(Conn& c, Frame frame);
   void close_conn(int fd, bool schedule_redial);
   // Closing an fd inside an epoll batch could let accept() recycle the fd
@@ -192,11 +197,11 @@ class SocketRuntime : public Runtime {
   // mark; the loop reaps at safe points.
   void mark_dead(Conn& c) { c.dead = true; }
   void reap_dead();
-  void accept_ready();
+  CORONA_NONBLOCKING void accept_ready();
   void fire_due_timers();
   void sweep_keepalive();
   Duration next_wakeup_delay() const;
-  void wake();
+  CORONA_NONBLOCKING void wake();
 
   SocketRuntimeConfig cfg_;
   std::chrono::steady_clock::time_point epoch_;

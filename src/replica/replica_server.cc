@@ -15,6 +15,7 @@ ReplicaServer::ReplicaServer(ReplicaConfig cfg,
     : cfg_(cfg),
       registry_(std::move(startup_servers)),
       coord_fd_(cfg.fd_timeout),
+      repl_(cfg.min_copies),
       leaf_fd_(cfg.fd_timeout),
       store_(store) {
   assert(!registry_.servers().empty());

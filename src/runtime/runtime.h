@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "serial/message.h"
+#include "util/context.h"
 #include "util/ids.h"
 #include "util/time.h"
 
@@ -110,9 +111,13 @@ class Node {
   NodeId id() const { return self_; }
 
   // Engine entry points -------------------------------------------------
-  virtual void on_start() {}
-  virtual void on_message(NodeId from, const Message& m) = 0;
-  virtual void on_timer(std::uint64_t tag) { (void)tag; }
+  // Under SocketRuntime every override runs on the epoll loop thread, so
+  // the loop-context annotation propagates to all of them (CHA) and the
+  // reach lint flags any blocking leaf they can transitively hit.
+  CORONA_LOOP_CONTEXT virtual void on_start() {}
+  CORONA_LOOP_CONTEXT virtual void on_message(NodeId from,
+                                              const Message& m) = 0;
+  CORONA_LOOP_CONTEXT virtual void on_timer(std::uint64_t tag) { (void)tag; }
 
  protected:
   TimePoint now() const { return rt().now(); }

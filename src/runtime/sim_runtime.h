@@ -56,8 +56,10 @@ class SimRuntime : public Runtime {
                         std::uint64_t tag) override;
   void cancel_timer(TimerHandle handle) override;
   void charge_cpu(NodeId node, Duration d) override;
-  TimePoint disk_write(NodeId node, std::size_t bytes,
-                       std::size_t records = 1) override;
+  // Models the write by advancing virtual time — never parks a thread, so
+  // the reach lint must not follow it into real disk paths.
+  CORONA_NONBLOCKING TimePoint disk_write(NodeId node, std::size_t bytes,
+                                          std::size_t records = 1) override;
 
   // Configures the log-device model for `node` (default: paper-era disk).
   void set_disk(NodeId node, DiskProfile profile);

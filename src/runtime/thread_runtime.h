@@ -33,6 +33,9 @@ class ThreadRuntime : public Runtime {
   void add_node(NodeId id, Node* node);
 
   // Spawns one thread per node and runs every on_start.
+  // reach: waive blocking-in-loop-context, blocking-while-locked -- harness
+  // entry point, never called from node handlers; reach's name-based CHA
+  // would otherwise conflate it with unrelated start() methods.
   void start();
 
   // Drains mailboxes and joins all threads.  Safe to call twice.

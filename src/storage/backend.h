@@ -35,8 +35,9 @@ class LogBackend {
   // Makes every appended record durable.  Returns the number of records the
   // call committed — the size of the commit group (group-commit accounting:
   // one flush covering a batch of appends pays the device's fixed per-op
-  // cost once for all of them).
-  virtual std::size_t flush() = 0;
+  // cost once for all of them).  Callers that only want the side effect
+  // acknowledge the accounting with `(void)`.
+  [[nodiscard]] virtual std::size_t flush() = 0;
 
   // Fail-stop crash: the unflushed tail vanishes; the live view becomes the
   // durable view.
@@ -78,10 +79,12 @@ class CheckpointBackend {
   virtual void crash() = 0;
 
   // Live view (what the running process reads back).
-  virtual std::optional<Bytes> get(const std::string& key) const = 0;
+  [[nodiscard]] virtual std::optional<Bytes> get(
+      const std::string& key) const = 0;
   // Durable view (what recovery after a crash would see).
-  virtual std::optional<Bytes> get_durable(const std::string& key) const = 0;
-  virtual std::vector<std::string> durable_keys() const = 0;
+  [[nodiscard]] virtual std::optional<Bytes> get_durable(
+      const std::string& key) const = 0;
+  [[nodiscard]] virtual std::vector<std::string> durable_keys() const = 0;
 
   virtual std::uint64_t bytes_committed() const = 0;
 };
@@ -98,7 +101,7 @@ class StorageEnv {
   // Opens (creating if absent) the record log for `id`.  For a durable env
   // an existing log loads its surviving records; the returned backend's
   // durable view is exactly what the last crash left behind.
-  virtual std::unique_ptr<LogBackend> open_log(GroupId id) = 0;
+  [[nodiscard]] virtual std::unique_ptr<LogBackend> open_log(GroupId id) = 0;
 
   // Reclaims the log's storage (group removal).
   virtual void remove_log(GroupId id) = 0;
@@ -107,7 +110,7 @@ class StorageEnv {
   // in-memory env has no logs that outlive their GroupStore and returns
   // nothing).  GroupStore uses this to reap orphan logs — groups that died
   // before their first checkpoint flush.
-  virtual std::vector<GroupId> list_logs() const = 0;
+  [[nodiscard]] virtual std::vector<GroupId> list_logs() const = 0;
 
   virtual CheckpointBackend& checkpoints() = 0;
   virtual const CheckpointBackend& checkpoints() const = 0;

@@ -8,9 +8,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
-#include <unordered_map>
 
 #include "storage/backend.h"
 #include "util/bytes.h"
@@ -42,8 +42,11 @@ class CheckpointStore final : public CheckpointBackend {
     Bytes blob;
   };
 
-  std::unordered_map<std::string, Bytes> committed_;
-  std::unordered_map<std::string, Staged> staged_;
+  // Ordered maps: flush() iterates staged_ (commit order) and durable_keys()
+  // walks committed_ — iteration order is observable, so no hashed maps
+  // (corona-lint unordered-container, ANALYSIS.md §4).
+  std::map<std::string, Bytes> committed_;
+  std::map<std::string, Staged> staged_;
   std::uint64_t bytes_committed_ = 0;
 };
 

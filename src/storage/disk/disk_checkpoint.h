@@ -26,12 +26,12 @@ class DiskCheckpointStore final : public CheckpointBackend {
  public:
   // Opens (creating if absent) the store rooted at `dir` and loads every
   // valid checkpoint.  `counters` (owned by the DiskEnv) must outlive this.
-  DiskCheckpointStore(std::string dir, DiskCounters* counters);
+  CORONA_BLOCKING DiskCheckpointStore(std::string dir, DiskCounters* counters);
 
   void put(const std::string& key, Bytes blob) override;
   void erase(const std::string& key) override;
 
-  void flush() override;
+  CORONA_BLOCKING void flush() override;
   void crash() override;
 
   std::optional<Bytes> get(const std::string& key) const override;
@@ -48,7 +48,7 @@ class DiskCheckpointStore final : public CheckpointBackend {
   };
 
   std::string key_path(const std::string& key) const;
-  void load();
+  CORONA_BLOCKING void load();
 
   std::string dir_;
   DiskCounters* counters_;

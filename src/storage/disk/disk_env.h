@@ -33,11 +33,11 @@ struct DiskEnvConfig {
 
 class DiskEnv final : public StorageEnv {
  public:
-  explicit DiskEnv(DiskEnvConfig config);
+  CORONA_BLOCKING explicit DiskEnv(DiskEnvConfig config);
 
-  std::unique_ptr<LogBackend> open_log(GroupId id) override;
-  void remove_log(GroupId id) override;
-  std::vector<GroupId> list_logs() const override;
+  CORONA_BLOCKING std::unique_ptr<LogBackend> open_log(GroupId id) override;
+  CORONA_BLOCKING void remove_log(GroupId id) override;
+  CORONA_BLOCKING std::vector<GroupId> list_logs() const override;
 
   CheckpointBackend& checkpoints() override { return checkpoints_; }
   const CheckpointBackend& checkpoints() const override {

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "util/bytes.h"
+#include "util/context.h"
 
 namespace corona::disk {
 
@@ -47,18 +48,18 @@ struct DiskCounters {
 // ---------------------------------------------------------------------------
 
 // mkdir -p.  Fail-stop on error.
-void ensure_dir(const std::string& path);
-bool dir_exists(const std::string& path);
+CORONA_BLOCKING void ensure_dir(const std::string& path);
+CORONA_BLOCKING bool dir_exists(const std::string& path);
 // Sorted names (not paths) of regular files in `dir`; empty if absent.
-std::vector<std::string> list_files(const std::string& dir);
+CORONA_BLOCKING std::vector<std::string> list_files(const std::string& dir);
 // Sorted names of subdirectories in `dir`; empty if absent.
-std::vector<std::string> list_dirs(const std::string& dir);
+CORONA_BLOCKING std::vector<std::string> list_dirs(const std::string& dir);
 // fsync the directory itself (durable rename/unlink/create).
-void sync_dir(const std::string& dir, DiskCounters* counters);
+CORONA_BLOCKING void sync_dir(const std::string& dir, DiskCounters* counters);
 // Deletes a file if present (fail-stop on real errors, ENOENT is fine).
-void remove_file(const std::string& path);
+CORONA_BLOCKING void remove_file(const std::string& path);
 // rm -rf for a backend-owned subtree.  Fail-stop on error.
-void remove_tree(const std::string& path);
+CORONA_BLOCKING void remove_tree(const std::string& path);
 
 // ---------------------------------------------------------------------------
 // Whole-file read / atomic replace
@@ -66,17 +67,19 @@ void remove_tree(const std::string& path);
 
 // Reads an entire file; nullopt if it does not exist or cannot be read
 // (read problems are recovery-path events, never fatal).
-std::optional<Bytes> read_file(const std::string& path);
+[[nodiscard]] CORONA_BLOCKING std::optional<Bytes> read_file(
+    const std::string& path);
 
 // Atomically replaces `path` with `content`: temp + fsync + rename + dir
 // fsync.  Fail-stop on error.
-void atomic_write_file(const std::string& path, BytesView content,
-                       DiskCounters* counters);
+CORONA_BLOCKING void atomic_write_file(const std::string& path,
+                                       BytesView content,
+                                       DiskCounters* counters);
 
 // Truncates `path` to `size` bytes and fsyncs it — recovery cutting a torn
 // tail off a segment before appending resumes.  Fail-stop on error.
-void truncate_file(const std::string& path, std::size_t size,
-                   DiskCounters* counters);
+CORONA_BLOCKING void truncate_file(const std::string& path, std::size_t size,
+                                   DiskCounters* counters);
 
 // ---------------------------------------------------------------------------
 // AppendFile: the active log segment
@@ -95,16 +98,17 @@ class AppendFile {
 
   // Opens `path` for appending, creating it if needed (the creating open is
   // followed by a directory fsync).  Fail-stop on error.
-  static AppendFile open(const std::string& path, DiskCounters* counters);
+  [[nodiscard]] CORONA_BLOCKING static AppendFile open(const std::string& path,
+                                                       DiskCounters* counters);
 
   bool is_open() const { return fd_ >= 0; }
   const std::string& path() const { return path_; }
 
   // Appends all of `data`.  Fail-stop on error.
-  void write(BytesView data);
+  CORONA_BLOCKING void write(BytesView data);
   // fdatasync.  Fail-stop on error.
-  void sync();
-  void close();
+  CORONA_BLOCKING void sync();
+  CORONA_BLOCKING void close();
 
  private:
   int fd_ = -1;

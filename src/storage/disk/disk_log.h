@@ -44,12 +44,13 @@ class DiskLog final : public LogBackend {
  public:
   // Opens (creating if absent) the log rooted at `dir` and recovers its
   // durable records.  `counters` (owned by the DiskEnv) must outlive this.
-  DiskLog(std::string dir, std::size_t segment_bytes, DiskCounters* counters);
+  CORONA_BLOCKING DiskLog(std::string dir, std::size_t segment_bytes,
+                          DiskCounters* counters);
 
   void append(Bytes record) override;
-  std::size_t flush() override;
+  CORONA_BLOCKING std::size_t flush() override;
   void crash() override;
-  void drop_prefix(std::size_t n) override;
+  CORONA_BLOCKING void drop_prefix(std::size_t n) override;
 
   std::size_t size() const override { return records_.size(); }
   std::size_t durable_size() const override { return durable_count_; }
@@ -82,7 +83,7 @@ class DiskLog final : public LogBackend {
   };
 
   std::string seg_path(const Segment& seg) const { return dir_ + "/" + seg.name; }
-  void recover();
+  CORONA_BLOCKING void recover();
   // Makes sure the active segment can take the record at logical index
   // `next_index`, rotating to a fresh segment when the current one is full.
   void ensure_active(std::uint64_t next_index);

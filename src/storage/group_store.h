@@ -20,13 +20,14 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "serial/message.h"
 #include "storage/backend.h"
+#include "util/context.h"
 #include "util/ids.h"
 #include "util/result.h"
 
@@ -50,18 +51,23 @@ struct RecoveredGroup {
 
 class GroupStore {
  public:
+  // CORONA_BLOCKING below = "blocks when backed by the disk env": callers
+  // cannot know which backend they run on, so the durable case is the
+  // contract (tools/reach, ANALYSIS.md §12).  append_update and recover
+  // only touch memory on every backend and stay unannotated.
+
   // In-memory backend (owned).
   GroupStore();
   // Runs on `env`, which must outlive this store.  Re-attaches every group
   // with a durable checkpoint, reopening its log.
-  explicit GroupStore(StorageEnv* env);
+  CORONA_BLOCKING explicit GroupStore(StorageEnv* env);
 
   // Creates durable structures for a group (staged; durable at flush()).
-  void create_group(const GroupMeta& meta,
-                    const std::vector<StateEntry>& initial_state);
+  CORONA_BLOCKING void create_group(const GroupMeta& meta,
+                                    const std::vector<StateEntry>& initial_state);
   // Durable immediately (flushes the checkpoint erase before reclaiming the
   // group's log storage — the WAL ordering rule, same as install_checkpoint).
-  void remove_group(GroupId id);
+  CORONA_BLOCKING void remove_group(GroupId id);
   bool has_group(GroupId id) const;
 
   // Appends one sequenced update to the group's log.
@@ -69,16 +75,17 @@ class GroupStore {
 
   // Log reduction (paper §3.2): installs a new checkpoint at `base_seq` with
   // `snapshot`, and drops logged updates with seq <= base_seq.
-  void install_checkpoint(GroupId id, SeqNo base_seq,
-                          const std::vector<StateEntry>& snapshot);
+  CORONA_BLOCKING void install_checkpoint(GroupId id, SeqNo base_seq,
+                                          const std::vector<StateEntry>& snapshot);
 
   // Durability control.  flush() returns the number of log records the call
   // committed across all groups — the commit-group size for this flush.
-  std::size_t flush();
+  // Callers that only want the side effect acknowledge with `(void)`.
+  [[nodiscard]] CORONA_BLOCKING std::size_t flush();
   void crash();
 
   // Reads the durable view back, as a restarted server would.
-  std::vector<RecoveredGroup> recover() const;
+  [[nodiscard]] std::vector<RecoveredGroup> recover() const;
 
   // Bytes that the next flush would push to the device; the sim charges this
   // against the disk model.
@@ -104,7 +111,10 @@ class GroupStore {
 
   std::unique_ptr<StorageEnv> owned_env_;  // set only by the default ctor
   StorageEnv* env_;
-  std::unordered_map<GroupId, PerGroup> groups_;
+  // Ordered map: flush()/crash() iterate it with externally visible side
+  // effects (per-log fsync order, reap order), which must not depend on a
+  // hash seed (corona-lint unordered-container, ANALYSIS.md §4).
+  std::map<GroupId, PerGroup> groups_;
 };
 
 }  // namespace corona

@@ -1,0 +1,42 @@
+// Execution-context annotations for the interprocedural reachability lint
+// (tools/reach/corona_reach.py; docs/ANALYSIS.md §12).
+//
+// Three facts about a function that no type signature carries:
+//
+//   CORONA_BLOCKING      — may park the calling thread in the kernel for an
+//                          unbounded time (fsync, blocking connect, sleep,
+//                          file reads...).  These are the *leaves* the
+//                          reachability rules trace back from.
+//   CORONA_NONBLOCKING   — looks like it does syscalls that block, but is
+//                          certified not to (non-blocking fds, eventfd
+//                          writes).  The analysis does not descend into a
+//                          function so marked; the annotation is a reviewed
+//                          claim, like CORONA_NO_THREAD_SAFETY_ANALYSIS.
+//   CORONA_LOOP_CONTEXT  — runs on a latency-critical event-loop thread
+//                          (the SocketRuntime epoll loop and everything it
+//                          dispatches: Node::on_start/on_message/on_timer).
+//                          A blocking leaf reachable from here stalls every
+//                          connection on the node.
+//
+// Under clang the macros expand to __attribute__((annotate(...))) so the
+// libclang frontend reads them straight off the AST; everywhere else they
+// compile away and the textual frontend recognizes the macro tokens in
+// source.  Either way they cost nothing at runtime.
+//
+// Placement: prefix position on the declaration, like virtual/static —
+//   CORONA_BLOCKING void sync();
+//   CORONA_LOOP_CONTEXT void on_timer(std::uint64_t tag) override;
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(annotate)
+#define CORONA_CTX(x) __attribute__((annotate(x)))
+#endif
+#endif
+#ifndef CORONA_CTX
+#define CORONA_CTX(x)  // not clang: annotations compile away
+#endif
+
+#define CORONA_BLOCKING CORONA_CTX("corona::blocking")
+#define CORONA_NONBLOCKING CORONA_CTX("corona::nonblocking")
+#define CORONA_LOOP_CONTEXT CORONA_CTX("corona::loop_context")

@@ -46,8 +46,11 @@ inline const char* errc_name(Errc e) {
   return "unknown";
 }
 
-// Error code plus human-readable context.
-struct Status {
+// Error code plus human-readable context.  [[nodiscard]] at the type level:
+// every function returning a Status is fallible, and silently dropping the
+// outcome is exactly the bug the reach lint's unchecked-fallible rule hunts
+// (ANALYSIS.md §12).  Deliberate drops write `(void)`.
+struct [[nodiscard]] Status {
   Errc code = Errc::kOk;
   std::string detail;
 
@@ -73,7 +76,7 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
 
 // Value-or-Status.  `value()` asserts success: callers check first.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
   Result(Status status) : status_(std::move(status)) {  // NOLINT

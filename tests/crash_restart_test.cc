@@ -77,14 +77,14 @@ UpdateRecord update_for(SeqNo seq) {
     for (std::size_t i = 0; i < batch; ++i) {
       gs.append_update(kGroup, update_for(++seq));
     }
-    gs.flush();
+    (void)gs.flush();
     disk::atomic_write_file(progress_path, disk::encode_log_meta(seq),
                             &progress_counters);
     if (rng.next_bool(0.1)) {
       base += rng.next_below(seq - base + 1);
       gs.install_checkpoint(kGroup, base,
                             {StateEntry{ObjectId{0}, snapshot_for(base)}});
-      gs.flush();
+      (void)gs.flush();
     }
   }
 }
@@ -194,7 +194,7 @@ TEST(CrashRestart, RecoveryComposesAcrossTwoKills) {
       disk::DiskCounters progress_counters;
       for (;;) {
         gs.append_update(kGroup, update_for(++seq));
-        gs.flush();
+        (void)gs.flush();
         disk::atomic_write_file(progress_path, disk::encode_log_meta(seq),
                                 &progress_counters);
       }

@@ -500,10 +500,10 @@ TEST(DiskGroupStore, RecoverAcrossReopenMatchesPreCrashDurableView) {
       gs.append_update(GroupId{1}, mk_update(s, ObjectId{1}, filler_bytes(20)));
     }
     gs.append_update(GroupId{2}, mk_update(1, ObjectId{9}, to_bytes("two")));
-    gs.flush();
+    (void)gs.flush();
     gs.install_checkpoint(GroupId{1}, 5,
                           {StateEntry{ObjectId{1}, to_bytes("as-of-5")}});
-    gs.flush();
+    (void)gs.flush();
     gs.append_update(GroupId{1},
                      mk_update(9, ObjectId{1}, to_bytes("unflushed")));
     gs.crash();  // in-process model of the kill
@@ -520,7 +520,7 @@ TEST(DiskGroupStore, OrphanLogOfNeverFlushedGroupIsReaped) {
     DiskEnv env(DiskEnvConfig{dir.path() + "/data", 256});
     GroupStore gs(&env);
     gs.create_group(GroupMeta{GroupId{5}, "flushed", true}, {});
-    gs.flush();
+    (void)gs.flush();
     gs.create_group(GroupMeta{GroupId{6}, "orphan", true}, {});
     // No flush: group 6 has a log directory but no durable checkpoint.
   }
@@ -539,9 +539,9 @@ TEST(DiskGroupStore, RemovedGroupStaysGoneAfterReopen) {
     GroupStore gs(&env);
     gs.create_group(GroupMeta{GroupId{1}, "g", true}, {});
     gs.append_update(GroupId{1}, mk_update(1, ObjectId{1}, to_bytes("x")));
-    gs.flush();
+    (void)gs.flush();
     gs.remove_group(GroupId{1});
-    gs.flush();
+    (void)gs.flush();
   }
   DiskEnv env(DiskEnvConfig{dir.path() + "/data", 256});
   GroupStore gs(&env);
@@ -556,7 +556,7 @@ TEST(DiskGroupStore, RemoveGroupIsDurableBeforeLogStorageIsReclaimed) {
     GroupStore gs(&env);
     gs.create_group(GroupMeta{GroupId{1}, "g", true}, {});
     gs.append_update(GroupId{1}, mk_update(1, ObjectId{1}, to_bytes("x")));
-    gs.flush();
+    (void)gs.flush();
     gs.remove_group(GroupId{1});
     // NO flush: the process dies right after remove_group returns.  The
     // checkpoint erase must already be durable when the log storage goes —
@@ -581,10 +581,10 @@ TEST(DiskGroupStore, CheckpointCoveredRecordsDoNotResurrect) {
     for (SeqNo s = 1; s <= 7; ++s) {
       gs.append_update(GroupId{1}, mk_update(s, ObjectId{1}, to_bytes("u")));
     }
-    gs.flush();
+    (void)gs.flush();
     gs.install_checkpoint(GroupId{1}, 4,
                           {StateEntry{ObjectId{1}, to_bytes("uuuu")}});
-    gs.flush();
+    (void)gs.flush();
   }
   DiskEnv env(DiskEnvConfig{dir.path() + "/data", 64});
   GroupStore gs(&env);
@@ -638,8 +638,8 @@ TEST(DiskGroupStore, RandomizedCrashPointEquivalenceProperty) {
           disk_gs.append_update(g, u);
           mem_gs.append_update(g, u);
         } else if (pick < 75) {
-          disk_gs.flush();
-          mem_gs.flush();
+          (void)disk_gs.flush();
+          (void)mem_gs.flush();
         } else if (pick < 90) {
           const GroupId g = live[rng.next_below(live.size())];
           const SeqNo base = next_seq[g.value] - 1;

@@ -102,7 +102,7 @@ TEST(ReplicaColdRestart, UnflushedTailLostOnColdRestart) {
     rt.run_for(300 * kMillisecond);
     // Force the creation checkpoint to become durable, then write updates
     // that never get flushed.
-    disk.flush();
+    (void)disk.flush();
     client.join(kPersistent);
     rt.run_for(300 * kMillisecond);
     client.bcast_update(kPersistent, kObj, to_bytes("never-flushed"));

@@ -153,6 +153,20 @@ TEST(ReplicationManager, SupportSubsumesBackup) {
   EXPECT_EQ(rm.copy_count(GroupId{1}), 1u);
 }
 
+TEST(ReplicationManager, RemoveBackupDropsExactlyThatServer) {
+  ReplicationManager rm(2);
+  rm.add_backup(GroupId{1}, NodeId{3});
+  rm.add_backup(GroupId{1}, NodeId{4});
+  ASSERT_TRUE(rm.is_backup(GroupId{1}, NodeId{3}));
+  rm.remove_backup(GroupId{1}, NodeId{3});
+  EXPECT_FALSE(rm.is_backup(GroupId{1}, NodeId{3}));
+  EXPECT_TRUE(rm.is_backup(GroupId{1}, NodeId{4}));
+  EXPECT_EQ(rm.copy_count(GroupId{1}), 1u);
+  // Unknown group: a no-op, not a crash or a phantom entry.
+  rm.remove_backup(GroupId{9}, NodeId{3});
+  EXPECT_EQ(rm.copy_count(GroupId{9}), 0u);
+}
+
 TEST(ReplicationManager, PickBackupWhenBelowMinimum) {
   ReplicationManager rm(2);
   rm.add_supporting_server(GroupId{1}, NodeId{2});

@@ -18,6 +18,60 @@ using testing::server_id;
 const GroupId kG{1};
 const ObjectId kObj{1};
 
+TEST(Replicated, LastLeaveOnALeafRecruitsAReplacementCopy) {
+  // When the last member on a leaf leaves and the copy count is below
+  // min_copies, the coordinator keeps the departing leaf as hot standby
+  // AND recruits a further backup toward the minimum (§4.1).  Skipping the
+  // recruitment step leaves the group under-replicated until the next
+  // crash forces the issue.
+  ReplicaConfig cfg;
+  cfg.min_copies = 5;
+  ReplicatedWorld w(6, 2, cfg);  // coordinator + 5 leaves; c0->leaf1, c1->leaf2
+  w.client(0).create_group(kG, "g", true);
+  w.settle();
+  w.client(0).join(kG);
+  w.client(1).join(kG);
+  w.settle();
+  const std::uint64_t before = w.coordinator().stats().backups_assigned;
+  w.client(0).leave(kG);
+  w.settle();
+  EXPECT_EQ(w.coordinator().stats().backups_assigned, before + 1);
+}
+
+TEST(Replicated, FanoutBatchFrameStatCountsOnlyCoalescedFrames) {
+  // fanout_batch_frames means "frames that actually coalesced >1 delivery".
+  // A lone update flushed by the batch-delay timer rides a singleton frame
+  // and must not count; a same-tick burst must.  Conflating the two turns
+  // the batching observability story (EXPERIMENTS.md) into a lie.
+  ReplicaConfig cfg;
+  cfg.batch_max_msgs = 4;
+  cfg.batch_max_delay = 5 * kMillisecond;
+  ReplicatedWorld w(3, 2, cfg);
+  w.client(0).create_group(kG, "g", true);
+  w.settle();
+  w.client(0).join(kG);
+  w.client(1).join(kG);
+  w.settle();
+
+  // One update, then quiesce: the delay timer flushes a 1-message outbox
+  // per recipient.  No coalescing happened, so no batch frames.
+  w.client(0).bcast_update(kG, kObj, to_bytes("solo;"));
+  w.settle();
+  std::uint64_t batch_frames = 0;
+  for (const auto& s : w.servers) batch_frames += s->stats().fanout_batch_frames;
+  EXPECT_EQ(batch_frames, 0u);
+
+  // A burst that fills the batch before the timer: the leaf outboxes carry
+  // several kDeliver messages per client, and those frames do count.
+  for (int i = 0; i < 4; ++i) {
+    w.client(0).bcast_update(kG, kObj, to_bytes("burst;"));
+  }
+  w.settle();
+  batch_frames = 0;
+  for (const auto& s : w.servers) batch_frames += s->stats().fanout_batch_frames;
+  EXPECT_GT(batch_frames, 0u);
+}
+
 TEST(Replicated, CrossLeafMulticast) {
   // Coordinator + 2 leaves; clients 0 and 1 attach to different leaves.
   ReplicatedWorld w(3, 2);

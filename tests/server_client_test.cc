@@ -400,6 +400,51 @@ TEST(ServerClient, ClientRequestedLogReduction) {
             "uuuuuuuuuu");
 }
 
+TEST(ServerClient, RetransmitAtReductionBoundaryShipsSnapshot) {
+  // A retransmit request for exactly base_seq + 1 sits on the reduction
+  // boundary, and the server's contract is inclusive: boundary requests get
+  // the consolidated snapshot, not a record range.  The two replies are not
+  // interchangeable — a snapshot reply reloads the replica wholesale, while
+  // range records below the recipient's next_expected are dropped — so the
+  // branch taken is visible in the client's replica shape.
+  SingleServerWorld w(1);
+  w.client(0).create_group(kG, "g", true);
+  w.settle();
+  w.client(0).join(kG);
+  w.settle();
+  for (int i = 0; i < 5; ++i) {
+    w.client(0).bcast_update(kG, kObj, to_bytes("a"));
+  }
+  w.settle();
+  w.client(0).reduce_log(kG);  // server: base_seq 5, history empty
+  w.settle();
+  for (int i = 0; i < 3; ++i) {
+    w.client(0).bcast_update(kG, kObj, to_bytes("b"));
+  }
+  w.settle();
+  ASSERT_EQ(w.server->group(kG)->state().base_seq(), 5u);
+  ASSERT_EQ(w.server->group(kG)->state().history_size(), 3u);
+  const SharedState* cs = w.client(0).group_state(kG);
+  ASSERT_NE(cs, nullptr);
+  ASSERT_EQ(cs->history_size(), 8u);  // clients don't trim on kLogReduced
+
+  // Ask for the boundary record (seq 6 == base_seq + 1, open-ended).
+  Message req;
+  req.type = MsgType::kRetransmitReq;
+  req.group = kG;
+  req.seq = 6;
+  req.seq2 = 0;
+  w.server->on_message(client_id(0), req);
+  w.settle();
+
+  // The consolidated snapshot replaces the client's replayed history; a
+  // record-range reply would have left all 8 records in place (seqs 6..8
+  // are below the caught-up client's next_expected of 9).
+  EXPECT_EQ(cs->history_size(), 0u);
+  EXPECT_EQ(cs->base_seq(), 8u);
+  EXPECT_EQ(to_string(*cs->object(kObj)), "aaaaabbb");
+}
+
 TEST(ServerClient, AutomaticReductionPolicy) {
   ServerConfig cfg;
   cfg.reduction_factory = [] { return make_count_threshold(5); };

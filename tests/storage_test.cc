@@ -118,7 +118,7 @@ TEST(GroupStore, CreateFlushRecover) {
                   {StateEntry{ObjectId{1}, to_bytes("init")}});
   gs.append_update(GroupId{1}, mk_update(1, ObjectId{1}, "u1"));
   gs.append_update(GroupId{1}, mk_update(2, ObjectId{1}, "u2"));
-  gs.flush();
+  (void)gs.flush();
 
   auto recovered = gs.recover();
   ASSERT_EQ(recovered.size(), 1u);
@@ -135,7 +135,7 @@ TEST(GroupStore, CrashLosesUnflushedUpdates) {
   GroupStore gs;
   gs.create_group(GroupMeta{GroupId{1}, "g", true}, {});
   gs.append_update(GroupId{1}, mk_update(1, ObjectId{1}, "durable"));
-  gs.flush();
+  (void)gs.flush();
   gs.append_update(GroupId{1}, mk_update(2, ObjectId{1}, "lost"));
   gs.crash();
   auto recovered = gs.recover();
@@ -160,7 +160,7 @@ TEST(GroupStore, CheckpointDropsCoveredLogRecords) {
   }
   gs.install_checkpoint(GroupId{1}, 3,
                         {StateEntry{ObjectId{1}, to_bytes("xxx")}});
-  gs.flush();
+  (void)gs.flush();
   auto recovered = gs.recover();
   ASSERT_EQ(recovered.size(), 1u);
   EXPECT_EQ(recovered[0].base_seq, 3u);
@@ -173,9 +173,9 @@ TEST(GroupStore, RemoveGroupErasesEverything) {
   GroupStore gs;
   gs.create_group(GroupMeta{GroupId{1}, "g", true}, {});
   gs.append_update(GroupId{1}, mk_update(1, ObjectId{1}, "x"));
-  gs.flush();
+  (void)gs.flush();
   gs.remove_group(GroupId{1});
-  gs.flush();
+  (void)gs.flush();
   EXPECT_TRUE(gs.recover().empty());
 }
 
@@ -183,7 +183,7 @@ TEST(GroupStore, RecoveryOfMultipleGroupsSortedById) {
   GroupStore gs;
   gs.create_group(GroupMeta{GroupId{7}, "late", true}, {});
   gs.create_group(GroupMeta{GroupId{3}, "early", true}, {});
-  gs.flush();
+  (void)gs.flush();
   auto recovered = gs.recover();
   ASSERT_EQ(recovered.size(), 2u);
   EXPECT_EQ(recovered[0].meta.id, GroupId{3});
@@ -195,7 +195,7 @@ TEST(GroupStore, TransientGroupsAlsoPersistUntilRemoved) {
   // server decides what to remove at null membership.
   GroupStore gs;
   gs.create_group(GroupMeta{GroupId{1}, "t", false}, {});
-  gs.flush();
+  (void)gs.flush();
   auto recovered = gs.recover();
   ASSERT_EQ(recovered.size(), 1u);
   EXPECT_FALSE(recovered[0].meta.persistent);
@@ -208,7 +208,7 @@ TEST(GroupStore, PendingBytesAggregatesAcrossGroups) {
   gs.append_update(GroupId{1}, mk_update(1, ObjectId{1}, "aaaa"));
   gs.append_update(GroupId{2}, mk_update(1, ObjectId{1}, "bb"));
   EXPECT_GT(gs.pending_bytes(), 0u);
-  gs.flush();
+  (void)gs.flush();
   EXPECT_EQ(gs.pending_bytes(), 0u);
 }
 

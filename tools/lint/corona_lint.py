@@ -179,7 +179,7 @@ RULES = [
     Rule(
         "unordered-container",
         "unordered",
-        in_dirs("core/", "replica/", "sim/", "net/", "check/"),
+        in_dirs("core/", "replica/", "sim/", "net/", "check/", "storage/"),
         re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b"),
         "unordered container in determinism-critical code; iteration order "
         "is nondeterministic — use std::map/std::set (or waive a proven "
@@ -263,7 +263,11 @@ ERASE_CALL_RE = re.compile(r"\b(\w+)\s*\.\s*erase\s*\(")
 
 # Directories under the full determinism contract (unordered-* and
 # erase-in-range-for); the remaining rules carry their own scopes above.
-STRICT_SCOPE = in_dirs("core/", "replica/", "sim/", "net/", "check/")
+# storage/ joined in PR 8: flush/crash iterate per-group state with
+# externally visible side effects (fsync order), so hashed iteration there
+# is just as sim-breaking as in core/.
+STRICT_SCOPE = in_dirs("core/", "replica/", "sim/", "net/", "check/",
+                       "storage/")
 
 
 def strip_strings(code: str) -> str:

@@ -1,0 +1,33 @@
+// reach fixture: entirely clean code.  Loop-context work that stays in
+// memory, a checked fallible call, and deterministic time handling — the
+// tool must report nothing here.
+#include <cstdint>
+#include <vector>
+
+#define CORONA_LOOP_CONTEXT
+
+struct Verdict {
+  static Verdict ok();
+  bool accepted;
+};
+
+class QuietCounter {
+ public:
+  CORONA_LOOP_CONTEXT void on_count(std::uint64_t n) {
+    total_ += n;
+    samples_.push_back(n);
+  }
+
+  [[nodiscard]] Verdict admit(std::uint64_t n) {
+    return n < 100 ? Verdict::ok() : Verdict{false};
+  }
+
+  void apply(std::uint64_t n) {
+    const Verdict v = admit(n);
+    if (v.accepted) total_ += n;
+  }
+
+ private:
+  std::uint64_t total_ = 0;
+  std::vector<std::uint64_t> samples_;
+};

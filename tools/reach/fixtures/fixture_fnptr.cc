@@ -1,0 +1,18 @@
+// reach fixture: function-pointer indirection.  Taking &slow_retry is the
+// only link between the handler and the sleeping helper; the address-take
+// must count as a call edge from the taker.
+#include <unistd.h>
+
+#define CORONA_LOOP_CONTEXT
+
+void slow_retry() {
+  sleep(1);  // planted: blocking-in-loop-context (via address-take)
+}
+
+class RetryScheduler {
+ public:
+  CORONA_LOOP_CONTEXT void on_retry_tick() {
+    void (*hook)() = &slow_retry;
+    hook();
+  }
+};

@@ -1,0 +1,18 @@
+// reach fixture: lambda indirection.  The blocking call sits inside a
+// lambda body; the scanner attributes lambda bodies to the defining
+// function, so the chain on_drain -> flush_tail -> fdatasync must surface.
+#include <unistd.h>
+
+#define CORONA_LOOP_CONTEXT
+
+class TailFlusher {
+ public:
+  CORONA_LOOP_CONTEXT void on_drain() {
+    auto commit = [this] { flush_tail(); };
+    commit();
+  }
+
+ private:
+  void flush_tail() { fdatasync(fd_); }  // planted: blocking-in-loop-context
+  int fd_ = -1;
+};

@@ -1,0 +1,32 @@
+// reach fixture: blocking under a held MutexLock, two calls away.  Also the
+// sanctioned counter-case: CondVar::wait with the lock held is the intended
+// use and must NOT fire blocking-while-locked.
+#include <unistd.h>
+
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex& m);
+};
+struct CondVar {
+  void wait(MutexLock& lk);
+};
+
+class JournalGate {
+ public:
+  void commit() {
+    MutexLock lock(mu_);
+    write_journal();  // planted: blocking-while-locked via helper
+  }
+
+  void park_until_signalled() {
+    MutexLock lock(mu_);
+    cv_.wait(lock);  // sanctioned: waiting with the lock held is the point
+  }
+
+ private:
+  void write_journal() { fsync(fd_); }
+
+  Mutex mu_;
+  CondVar cv_;
+  int fd_ = -1;
+};

@@ -1,0 +1,22 @@
+// reach fixture: dropped [[nodiscard]] result.  save() is fallible and
+// every declaration says so; the bare statement call must fire
+// unchecked-fallible while the (void)-acknowledged one must not.
+struct Status {
+  static Status ok();
+  bool is_ok() const;
+};
+
+class SettingsFile {
+ public:
+  [[nodiscard]] Status save_settings();
+
+  void on_apply() {
+    save_settings();  // planted: unchecked-fallible
+  }
+
+  void on_discard() {
+    (void)save_settings();  // acknowledged drop: no finding
+  }
+};
+
+Status SettingsFile::save_settings() { return Status::ok(); }

@@ -1,0 +1,30 @@
+// reach fixture: mutually recursive cycle ending at a blocking connect.
+// The BFS must terminate on the a <-> b cycle and still report the leaf.
+#include <sys/socket.h>
+
+#define CORONA_LOOP_CONTEXT
+
+namespace {
+
+void dial_peer(int fd, const sockaddr* addr, unsigned len);
+void retry_dial(int fd, const sockaddr* addr, unsigned len);
+
+void dial_peer(int fd, const sockaddr* addr, unsigned len) {
+  if (::connect(fd, addr, len) != 0) {  // planted: blocking-in-loop-context
+    retry_dial(fd, addr, len);
+  }
+}
+
+void retry_dial(int fd, const sockaddr* addr, unsigned len) {
+  dial_peer(fd, addr, len);  // cycle back
+}
+
+}  // namespace
+
+class Redialer {
+ public:
+  CORONA_LOOP_CONTEXT void on_peer_lost() { dial_peer(fd_, nullptr, 0); }
+
+ private:
+  int fd_ = -1;
+};

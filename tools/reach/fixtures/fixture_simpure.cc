@@ -1,0 +1,23 @@
+// reach fixture: sim-purity.  Fixture files are treated as sim-pure
+// modules; stamp_event() only becomes nondeterministic through the helper
+// it calls, so the finding requires interprocedural reachability.
+#include <chrono>
+#include <cstdint>
+
+namespace {
+
+std::uint64_t wall_nanos() {
+  // planted: sim-purity (wall-clock leaf)
+  return static_cast<std::uint64_t>(
+      std::chrono::system_clock::now().time_since_epoch().count());
+}
+
+}  // namespace
+
+class EventStamper {
+ public:
+  void stamp_event() { last_stamp_ = wall_nanos(); }
+
+ private:
+  std::uint64_t last_stamp_ = 0;
+};

@@ -1,0 +1,22 @@
+// reach fixture: virtual dispatch.  The base declares the loop-context
+// callback; the override reaches fsync two calls deep.  Name-based CHA must
+// widen the annotation to the override and flag it.
+#include <unistd.h>
+
+#define CORONA_LOOP_CONTEXT
+
+class PollerBase {
+ public:
+  CORONA_LOOP_CONTEXT virtual void on_poll() = 0;
+  virtual ~PollerBase() = default;
+};
+
+class DurablePoller : public PollerBase {
+ public:
+  void on_poll() override { persist(); }
+
+ private:
+  void persist() { sync_segment(); }
+  void sync_segment() { fsync(fd_); }  // planted: blocking-in-loop-context
+  int fd_ = -1;
+};

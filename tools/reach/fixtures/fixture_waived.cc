@@ -1,0 +1,15 @@
+// reach fixture: a planted violation carrying a waiver.  The waiver (with
+// its rationale) must suppress the finding entirely.
+#include <unistd.h>
+
+#define CORONA_LOOP_CONTEXT
+
+class WaivedSyncer {
+ public:
+  // reach: waive blocking-in-loop-context -- fixture: reviewed, the fd is
+  // a ramdisk file and the sync returns immediately.
+  CORONA_LOOP_CONTEXT void on_flush_tick() { fsync(fd_); }
+
+ private:
+  int fd_ = -1;
+};

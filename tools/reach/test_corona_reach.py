@@ -1,0 +1,211 @@
+#!/usr/bin/env python3
+"""Self-test for corona_reach.py: every planted fixture violation — one per
+rule, plus the indirection shapes (virtual dispatch, lambda, function
+pointer, recursion) — must be caught, every sanctioned counter-case must
+stay silent, and the baseline gate must enforce written rationales."""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, HERE)
+import corona_reach  # noqa: E402
+
+FIXTURES = os.path.join(HERE, "fixtures")
+
+
+def run(argv: list[str]) -> tuple[int, str, str]:
+    out, err = io.StringIO(), io.StringIO()
+    with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+        code = corona_reach.main(argv)
+    return code, out.getvalue(), err.getvalue()
+
+
+def fixture(name: str) -> str:
+    return os.path.join(FIXTURES, name)
+
+
+def run_fixture(name: str) -> tuple[int, str, str]:
+    return run(["--frontend", "textual", "--no-baseline", fixture(name)])
+
+
+class BlockingInLoopContext(unittest.TestCase):
+    def test_virtual_dispatch_widens_to_the_override(self) -> None:
+        code, out, _ = run_fixture("fixture_virtual.cc")
+        self.assertEqual(code, 1)
+        self.assertIn("[blocking-in-loop-context]", out)
+        self.assertIn("DurablePoller::on_poll", out)
+        self.assertIn("fsync", out)
+        # The via chain walks the helpers, not just the endpoint.
+        self.assertIn("DurablePoller::persist", out)
+
+    def test_lambda_body_attributes_to_the_defining_function(self) -> None:
+        code, out, _ = run_fixture("fixture_lambda.cc")
+        self.assertEqual(code, 1)
+        self.assertIn("TailFlusher::on_drain", out)
+        self.assertIn("TailFlusher::flush_tail", out)
+
+    def test_address_taken_function_counts_as_called(self) -> None:
+        code, out, _ = run_fixture("fixture_fnptr.cc")
+        self.assertEqual(code, 1)
+        self.assertIn("RetryScheduler::on_retry_tick", out)
+        self.assertIn("slow_retry", out)
+        self.assertIn("sleep", out)
+
+    def test_recursive_cycle_terminates_and_reports(self) -> None:
+        code, out, _ = run_fixture("fixture_recursive.cc")
+        self.assertEqual(code, 1)
+        self.assertIn("Redialer::on_peer_lost", out)
+        self.assertIn("connect", out)
+
+
+class BlockingWhileLocked(unittest.TestCase):
+    def test_blocking_behind_a_helper_under_lock_is_caught(self) -> None:
+        code, out, _ = run_fixture("fixture_locked.cc")
+        self.assertEqual(code, 1)
+        self.assertIn("[blocking-while-locked]", out)
+        self.assertIn("JournalGate::commit[mu_]", out)
+        self.assertIn("fsync", out)
+
+    def test_condvar_wait_under_lock_is_sanctioned(self) -> None:
+        _, out, _ = run_fixture("fixture_locked.cc")
+        self.assertNotIn("park_until_signalled", out)
+        self.assertNotIn("condvar-wait", out)
+
+
+class UncheckedFallible(unittest.TestCase):
+    def test_dropped_nodiscard_result_is_caught(self) -> None:
+        code, out, _ = run_fixture("fixture_nodiscard.cc")
+        self.assertEqual(code, 1)
+        self.assertIn("[unchecked-fallible]", out)
+        self.assertIn("SettingsFile::on_apply", out)
+        self.assertIn("save_settings", out)
+
+    def test_void_cast_acknowledges_the_drop(self) -> None:
+        _, out, _ = run_fixture("fixture_nodiscard.cc")
+        self.assertNotIn("on_discard", out)
+
+
+class SimPurity(unittest.TestCase):
+    def test_wall_clock_behind_a_helper_is_caught(self) -> None:
+        code, out, _ = run_fixture("fixture_simpure.cc")
+        self.assertEqual(code, 1)
+        self.assertIn("[sim-purity]", out)
+        self.assertIn("wall_nanos", out)
+        self.assertIn("wall-clock", out)
+
+
+class Waivers(unittest.TestCase):
+    def test_waived_planted_violation_is_suppressed(self) -> None:
+        code, out, err = run_fixture("fixture_waived.cc")
+        self.assertEqual(code, 0, out + err)
+
+    def test_clean_fixture_is_clean(self) -> None:
+        code, out, err = run_fixture("fixture_clean.cc")
+        self.assertEqual(code, 0, out + err)
+
+    def test_whole_fixture_dir_plants_exactly_seven_findings(self) -> None:
+        # virtual + lambda + fnptr + recursive (rule 1), locked (rule 2),
+        # nodiscard (rule 3), simpure (rule 4); waived + clean contribute
+        # nothing.
+        code, out, _ = run(["--frontend", "textual", "--no-baseline",
+                            FIXTURES])
+        self.assertEqual(code, 1)
+        self.assertEqual(len([ln for ln in out.splitlines()
+                              if "] " in ln and " reaches " in ln]), 7)
+
+
+class Baseline(unittest.TestCase):
+    def test_baseline_requires_a_written_rationale(self) -> None:
+        with tempfile.TemporaryDirectory() as tmp:
+            base = os.path.join(tmp, "baseline.json")
+            code, _, err = run(["--frontend", "textual",
+                                "--write-baseline", base,
+                                fixture("fixture_virtual.cc")])
+            self.assertEqual(code, 0, err)
+
+            # Freshly written entries have empty rationales: still a gate
+            # failure, with a message pointing at the baseline.
+            code, out, _ = run(["--frontend", "textual", "--baseline", base,
+                                fixture("fixture_virtual.cc")])
+            self.assertEqual(code, 1)
+            self.assertIn("WITHOUT a rationale", out)
+
+            with open(base, encoding="utf-8") as f:
+                payload = json.load(f)
+            self.assertEqual(len(payload["findings"]), 1)
+            for entry in payload["findings"]:
+                entry["rationale"] = "reviewed: fixture"
+            with open(base, "w", encoding="utf-8") as f:
+                json.dump(payload, f)
+
+            code, out, err = run(["--frontend", "textual",
+                                  "--baseline", base,
+                                  fixture("fixture_virtual.cc")])
+            self.assertEqual(code, 0, out + err)
+
+    def test_rewrite_preserves_existing_rationales(self) -> None:
+        with tempfile.TemporaryDirectory() as tmp:
+            base = os.path.join(tmp, "baseline.json")
+            run(["--frontend", "textual", "--write-baseline", base,
+                 fixture("fixture_virtual.cc")])
+            with open(base, encoding="utf-8") as f:
+                payload = json.load(f)
+            payload["findings"][0]["rationale"] = "kept across rewrites"
+            with open(base, "w", encoding="utf-8") as f:
+                json.dump(payload, f)
+
+            run(["--frontend", "textual", "--write-baseline", base,
+                 fixture("fixture_virtual.cc")])
+            with open(base, encoding="utf-8") as f:
+                payload = json.load(f)
+            self.assertEqual(payload["findings"][0]["rationale"],
+                             "kept across rewrites")
+
+    def test_new_finding_fails_against_a_clean_baseline(self) -> None:
+        with tempfile.TemporaryDirectory() as tmp:
+            base = os.path.join(tmp, "baseline.json")
+            run(["--frontend", "textual", "--write-baseline", base,
+                 fixture("fixture_clean.cc")])
+            code, out, _ = run(["--frontend", "textual", "--baseline", base,
+                                fixture("fixture_locked.cc")])
+            self.assertEqual(code, 1)
+            self.assertIn("blocking-while-locked", out)
+
+
+class Frontends(unittest.TestCase):
+    def test_require_libclang_fails_loudly_when_absent(self) -> None:
+        if corona_reach._load_cindex() is not None:
+            self.skipTest("libclang present; fallback path not reachable")
+        code, _, err = run(["--frontend", "libclang", "--require-libclang",
+                            fixture("fixture_clean.cc")])
+        self.assertEqual(code, 2)
+        self.assertIn("libclang", err)
+
+    def test_auto_falls_back_to_textual_with_a_notice(self) -> None:
+        if corona_reach._load_cindex() is not None:
+            self.skipTest("libclang present; fallback path not reachable")
+        code, _, err = run([fixture("fixture_clean.cc")])
+        self.assertEqual(code, 0)
+
+    def test_compile_commands_positional_is_accepted(self) -> None:
+        # The acceptance-command shape: a .json db first, sources after.
+        # Without libclang the db is ignored and textual runs.
+        with tempfile.TemporaryDirectory() as tmp:
+            db = os.path.join(tmp, "compile_commands.json")
+            with open(db, "w", encoding="utf-8") as f:
+                f.write("[]")
+            code, out, err = run([db, fixture("fixture_clean.cc"),
+                                  "--no-baseline"])
+            self.assertEqual(code, 0, out + err)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
