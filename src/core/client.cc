@@ -70,7 +70,7 @@ RequestId CoronaClient::bcast_state(GroupId g, ObjectId obj, Bytes payload,
   rec.data = payload;
   rec.sender = id();
   rec.request_id = rid;
-  remember_send(g, rec);
+  remember_send(g, std::move(rec));
   send(server_, make_bcast(PayloadKind::kState, g, obj, std::move(payload),
                            sender_inclusive, rid));
   return rid;
@@ -86,7 +86,7 @@ RequestId CoronaClient::bcast_update(GroupId g, ObjectId obj, Bytes payload,
   rec.data = payload;
   rec.sender = id();
   rec.request_id = rid;
-  remember_send(g, rec);
+  remember_send(g, std::move(rec));
   send(server_, make_bcast(PayloadKind::kUpdate, g, obj, std::move(payload),
                            sender_inclusive, rid));
   return rid;
@@ -113,10 +113,10 @@ RequestId CoronaClient::reduce_log(GroupId g, SeqNo upto) {
   return rid;
 }
 
-void CoronaClient::remember_send(GroupId g, const UpdateRecord& rec) {
+void CoronaClient::remember_send(GroupId g, UpdateRecord rec) {
   if (config_.resend_buffer == 0) return;
   auto& buf = recent_sends_[g];
-  buf.push_back(rec);
+  buf.push_back(std::move(rec));
   while (buf.size() > config_.resend_buffer) buf.pop_front();
 }
 

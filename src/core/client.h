@@ -33,6 +33,7 @@
 #include "core/shared_state.h"
 #include "runtime/runtime.h"
 #include "serial/message.h"
+#include "util/context.h"
 #include "util/ids.h"
 #include "util/sync.h"
 
@@ -100,10 +101,12 @@ class CoronaClient : public Node {
                  bool notify_membership = true);
   RequestId leave(GroupId g);
   RequestId get_membership(GroupId g);
-  RequestId bcast_state(GroupId g, ObjectId obj, Bytes payload,
-                        bool sender_inclusive = true);
-  RequestId bcast_update(GroupId g, ObjectId obj, Bytes payload,
-                         bool sender_inclusive = true);
+  CORONA_HOT_PATH RequestId bcast_state(GroupId g, ObjectId obj,
+                                        Bytes payload,
+                                        bool sender_inclusive = true);
+  CORONA_HOT_PATH RequestId bcast_update(GroupId g, ObjectId obj,
+                                         Bytes payload,
+                                         bool sender_inclusive = true);
   RequestId lock(GroupId g, ObjectId obj);
   RequestId unlock(GroupId g, ObjectId obj);
   // upto == 0 requests reduction to the current head.
@@ -144,7 +147,10 @@ class CoronaClient : public Node {
   };
 
   RequestId next_request() CORONA_REQUIRES(mu_) { return next_request_id_++; }
-  void remember_send(GroupId g, const UpdateRecord& rec) CORONA_REQUIRES(mu_);
+  // Takes the record by value: callers hand over their last use with
+  // std::move, so the resend buffer entry is a move, not a deep copy of
+  // the payload bytes.
+  void remember_send(GroupId g, UpdateRecord rec) CORONA_REQUIRES(mu_);
   void handle_join_reply(const Message& m) CORONA_REQUIRES(mu_);
   void handle_deliver(const Message& m) CORONA_REQUIRES(mu_);
   void handle_state_reply(const Message& m) CORONA_REQUIRES(mu_);

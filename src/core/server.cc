@@ -675,12 +675,17 @@ void CoronaServer::deliver_to_members(Group& group, const UpdateRecord& rec,
     stats_.delivery_bytes += rec.data.size() * recipients.size();
     return;
   }
+  // Point-to-point fan-out of the one kDeliver: engines that serialize at
+  // the sender encode `out` once for all recipients instead of per member.
+  std::vector<NodeId> recipients;
+  recipients.reserve(group.member_count());
   for (const auto& [member, info] : group.members()) {
     if (!sender_inclusive && member == sender) continue;
-    send(member, out);
-    ++stats_.deliveries_sent;
-    stats_.delivery_bytes += rec.data.size();
+    recipients.push_back(member);
   }
+  fanout(recipients, out);
+  stats_.deliveries_sent += recipients.size();
+  stats_.delivery_bytes += rec.data.size() * recipients.size();
 }
 
 // ---------------------------------------------------------------------------

@@ -32,6 +32,7 @@
 #include "runtime/runtime.h"
 #include "serial/message.h"
 #include "storage/group_store.h"
+#include "util/context.h"
 #include "util/ids.h"
 
 namespace corona {
@@ -182,7 +183,7 @@ class CoronaServer : public Node {
   void handle_join(NodeId from, const Message& m);
   void handle_leave(NodeId from, const Message& m);
   void handle_get_membership(NodeId from, const Message& m);
-  void handle_bcast(NodeId from, const Message& m);
+  CORONA_HOT_PATH void handle_bcast(NodeId from, const Message& m);
   void handle_lock_request(NodeId from, const Message& m);
   void handle_lock_release(NodeId from, const Message& m);
   void handle_reduce_log(NodeId from, const Message& m);
@@ -211,21 +212,24 @@ class CoronaServer : public Node {
   // Sequences `rec` only: allocates the seq, marks the dedup set, charges
   // state CPU, applies to shared state and appends to the log.  Shared by
   // the per-message and batched paths so both produce identical records.
-  void sequence_record(Group& group, UpdateRecord& rec);
+  CORONA_HOT_PATH void sequence_record(Group& group, UpdateRecord& rec);
   // Sequences `rec` into `group`, applies it to state + log, charges CPU.
   // Delivery is immediate (kNone/kAsync) or deferred behind the disk (kSync).
-  void sequence_and_deliver(Group& group, UpdateRecord rec,
-                            bool sender_inclusive, NodeId sender);
-  void deliver_to_members(Group& group, const UpdateRecord& rec,
-                          bool sender_inclusive, NodeId sender);
+  CORONA_HOT_PATH void sequence_and_deliver(Group& group, UpdateRecord rec,
+                                            bool sender_inclusive,
+                                            NodeId sender);
+  CORONA_HOT_PATH void deliver_to_members(Group& group,
+                                          const UpdateRecord& rec,
+                                          bool sender_inclusive,
+                                          NodeId sender);
   // Queues a validated multicast on the batch queue; drains at threshold.
-  void enqueue_batch(PendingDelivery p);
+  CORONA_HOT_PATH void enqueue_batch(PendingDelivery p);
   // Sequences every queued multicast in arrival order, covers the run with
   // one group commit (kSync), and fans out coalesced per-client frames.
-  void drain_batch();
+  CORONA_HOT_PATH void drain_batch();
   // Fans out a run of already-sequenced records, one coalesced frame per
   // client.  A single-record run degenerates to deliver_to_members.
-  void fanout_batch(std::vector<PendingDelivery>& items);
+  CORONA_HOT_PATH void fanout_batch(std::vector<PendingDelivery>& items);
   void send_membership_notices(Group& group, NodeId subject, MemberRole role,
                                bool joined);
   void perform_reduction(Group& group, SeqNo upto);

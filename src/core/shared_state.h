@@ -27,6 +27,7 @@
 
 #include "serial/message.h"
 #include "util/bytes.h"
+#include "util/context.h"
 #include "util/ids.h"
 #include "util/invariant.h"
 
@@ -41,7 +42,7 @@ class SharedState {
 
   // Applies one sequenced state message.  Records must arrive in sequence
   // order; `rec.seq` must exceed head_seq().
-  void apply(const UpdateRecord& rec);
+  CORONA_HOT_PATH void apply(const UpdateRecord& rec);
 
   // -- reads -----------------------------------------------------------------
   // Consolidated snapshot of every object, sorted by object id.

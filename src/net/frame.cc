@@ -38,6 +38,7 @@ Bytes encode_message_frame(NodeId from, NodeId to, BytesView message_wire) {
   e.put_u64(from.value);
   e.put_u64(to.value);
   Bytes body = e.take();
+  body.reserve(body.size() + message_wire.size());
   body.insert(body.end(), message_wire.begin(), message_wire.end());
   return finish_frame(FrameKind::kMessage, body);
 }

@@ -28,6 +28,7 @@
 
 #include "serial/message.h"
 #include "util/bytes.h"
+#include "util/context.h"
 #include "util/ids.h"
 
 namespace corona::net {
@@ -60,8 +61,8 @@ struct Frame {
 };
 
 [[nodiscard]] Bytes encode_hello_frame(const std::vector<NodeId>& local_nodes);
-[[nodiscard]] Bytes encode_message_frame(NodeId from, NodeId to,
-                                         BytesView message_wire);
+[[nodiscard]] CORONA_HOT_PATH Bytes encode_message_frame(
+    NodeId from, NodeId to, BytesView message_wire);
 [[nodiscard]] Bytes encode_ping_frame();
 [[nodiscard]] Bytes encode_pong_frame();
 

@@ -224,6 +224,29 @@ void SocketRuntime::send_batch(NodeId from, NodeId to,
   wake();
 }
 
+void SocketRuntime::fanout(NodeId from, const std::vector<NodeId>& to,
+                           const Message& m) {
+  if (to.empty()) return;
+  if (to.size() == 1) {
+    send(from, to.front(), m);
+    return;
+  }
+  if (stopping_.load()) {
+    counters_.messages_dropped.fetch_add(to.size());
+    return;
+  }
+  Op op;
+  op.kind = Op::Kind::kFanout;
+  op.from = from;
+  op.wire = m.encode();
+  op.targets = to;
+  {
+    MutexLock lock(mu_);
+    ops_.push_back(std::move(op));
+  }
+  wake();
+}
+
 TimerHandle SocketRuntime::set_timer(NodeId owner, Duration delay,
                                      std::uint64_t tag) {
   const TimerHandle handle = next_timer_.fetch_add(1);
@@ -348,6 +371,15 @@ void SocketRuntime::drain_ops() {
           break;
         case Op::Kind::kSendBatch:
           apply_send_batch(op.from, op.to, std::move(op.wires));
+          break;
+        case Op::Kind::kFanout:
+          // Expands to per-target deliveries on the loop thread; the last
+          // target takes the shared wire buffer by move.
+          for (std::size_t i = 0; i < op.targets.size(); ++i) {
+            const bool last = i + 1 == op.targets.size();
+            apply_send(op.from, op.targets[i],
+                       last ? std::move(op.wire) : op.wire);
+          }
           break;
         case Op::Kind::kSetTimer:
           timers_[{op.deadline, op.handle}] = TimerRec{op.to, op.tag};

@@ -129,17 +129,27 @@ class SocketRuntime : public Runtime {
   // loses the whole queued suffix together, never an interior frame.
   void send_batch(NodeId from, NodeId to,
                   const std::vector<Message>& ms) override;
+  // Encode-once fan-out: the message is serialized once and the wire bytes
+  // queued to each target (one op, one loop wakeup).  Per-connection FIFO
+  // order against other sends from the same node is preserved — the op
+  // queue is drained in order, so the expansion sits exactly where the
+  // per-target send loop would have.
+  void fanout(NodeId from, const std::vector<NodeId>& to,
+              const Message& m) override;
   TimerHandle set_timer(NodeId owner, Duration delay,
                         std::uint64_t tag) override;
   void cancel_timer(TimerHandle handle) override;
 
  private:
   struct Op {
-    enum class Kind { kSend, kSendBatch, kSetTimer, kCancelTimer, kDrop } kind;
-    // kSend / kSendBatch
+    enum class Kind {
+      kSend, kSendBatch, kFanout, kSetTimer, kCancelTimer, kDrop
+    } kind;
+    // kSend / kSendBatch / kFanout
     NodeId from, to;
-    Bytes wire;
-    std::vector<Bytes> wires;  // kSendBatch only
+    Bytes wire;                    // kSend / kFanout (shared by all targets)
+    std::vector<Bytes> wires;      // kSendBatch only
+    std::vector<NodeId> targets;   // kFanout only
     // timers
     TimerHandle handle = 0;
     TimePoint deadline = 0;

@@ -472,11 +472,16 @@ void ReplicaServer::leaf_apply_and_fanout(LocalGroup& lg,
     }
     return;
   }
+  // Unbatched leaf fan-out: one encode of the kDeliver for all local
+  // members on engines that serialize at the sender.
+  std::vector<NodeId> recipients;
+  recipients.reserve(lg.local_members.size());
   for (const auto& [member, info] : lg.local_members) {
     if (!sender_inclusive && member == origin) continue;
-    send(member, out);
-    ++stats_.fanout_deliveries;
+    recipients.push_back(member);
   }
+  fanout(recipients, out);
+  stats_.fanout_deliveries += recipients.size();
 }
 
 void ReplicaServer::leaf_flush_outbox() {

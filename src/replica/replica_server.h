@@ -46,6 +46,7 @@
 #include "runtime/runtime.h"
 #include "serial/message.h"
 #include "storage/group_store.h"
+#include "util/context.h"
 #include "util/ids.h"
 #include "util/invariant.h"
 
@@ -156,12 +157,14 @@ class ReplicaServer : public Node {
   void leaf_handle_join(NodeId from, const Message& m);
   void leaf_serve_join(LocalGroup& lg, NodeId client, const Message& m);
   void leaf_handle_leave(NodeId from, const Message& m);
-  void leaf_handle_bcast(NodeId from, const Message& m);
-  void leaf_handle_seq_multicast(const Message& m);
-  void leaf_apply_and_fanout(LocalGroup& lg, const UpdateRecord& rec,
-                             bool sender_inclusive, NodeId origin);
+  CORONA_HOT_PATH void leaf_handle_bcast(NodeId from, const Message& m);
+  CORONA_HOT_PATH void leaf_handle_seq_multicast(const Message& m);
+  CORONA_HOT_PATH void leaf_apply_and_fanout(LocalGroup& lg,
+                                             const UpdateRecord& rec,
+                                             bool sender_inclusive,
+                                             NodeId origin);
   // Sends every queued kDeliver run, one coalesced frame per client.
-  void leaf_flush_outbox();
+  CORONA_HOT_PATH void leaf_flush_outbox();
   void leaf_handle_state_reply(NodeId from, const Message& m);
   void leaf_install_state(GroupId g, const Message& m);
   void leaf_handle_notice(const Message& m);
@@ -200,7 +203,8 @@ class ReplicaServer : public Node {
     InvariantReport check_invariants() const;
   };
 
-  void coord_handle_fwd_multicast(NodeId from, const Message& m);
+  CORONA_HOT_PATH void coord_handle_fwd_multicast(NodeId from,
+                                                  const Message& m);
   void coord_sequence(CoordGroup& cg, UpdateRecord rec, bool sender_inclusive,
                       NodeId origin_leaf);
   void coord_handle_group_op(NodeId from, const Message& m);

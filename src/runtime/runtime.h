@@ -40,7 +40,8 @@ class Runtime {
   // and deserialized at the receiver; delivery is asynchronous and may be
   // silently dropped by failure injection (like a broken TCP connection —
   // endpoints learn about peers only through replies and heartbeats).
-  virtual void send(NodeId from, NodeId to, const Message& m) = 0;
+  CORONA_HOT_PATH virtual void send(NodeId from, NodeId to,
+                                    const Message& m) = 0;
 
   // Arranges for `owner`'s on_timer(tag) after `delay`.  The returned handle
   // can cancel the timer before it fires.
@@ -62,8 +63,27 @@ class Runtime {
   // possible, and point-to-point TCP connections").  The default expands to
   // point-to-point sends; the simulator models a true multicast: the sender
   // pays ONE send cost and one wire transmission regardless of fan-out.
-  virtual void multicast(NodeId from, const std::vector<NodeId>& to,
-                         const Message& m) {
+  CORONA_HOT_PATH virtual void multicast(NodeId from,
+                                         const std::vector<NodeId>& to,
+                                         const Message& m) {
+    for (NodeId t : to) send(from, t, m);
+  }
+
+  // Point-to-point fan-out of ONE message to many peers.  Semantically
+  // identical to this default loop — each target gets an ordinary send —
+  // but engines that serialize at the sender (thread, socket) override it
+  // to encode `m` once and reuse the wire bytes for every target, instead
+  // of paying one Message::encode per member.  Unlike multicast() this
+  // never becomes an IP-multicast: use it where the recipients are real
+  // point-to-point peers (per-member kDeliver fan-out).  The simulator
+  // deliberately keeps the default so per-target costs and journals are
+  // byte-identical with the pre-fanout code.
+  CORONA_HOT_PATH virtual void fanout(NodeId from,
+                                      const std::vector<NodeId>& to,
+                                      const Message& m) {
+    // heat: waive copy-in-hot-path -- same waiver as multicast(): the
+    // default expansion is the semantic spec; engines override to encode
+    // once.
     for (NodeId t : to) send(from, t, m);
   }
 
@@ -77,8 +97,8 @@ class Runtime {
   // frame arrives or none of it does (like one TCP segment run).  The
   // default expands to point-to-point sends (engines without a cheaper
   // primitive stay correct).
-  virtual void send_batch(NodeId from, NodeId to,
-                          const std::vector<Message>& ms) {
+  CORONA_HOT_PATH virtual void send_batch(NodeId from, NodeId to,
+                                          const std::vector<Message>& ms) {
     for (const Message& m : ms) send(from, to, m);
   }
 
@@ -124,6 +144,13 @@ class Node {
   void send(NodeId to, const Message& m) { rt().send(self_, to, m); }
   void multicast(const std::vector<NodeId>& to, const Message& m) {
     rt().multicast(self_, to, m);
+  }
+  void fanout(const std::vector<NodeId>& to, const Message& m) {
+    if (to.size() == 1) {
+      rt().send(self_, to.front(), m);
+      return;
+    }
+    if (!to.empty()) rt().fanout(self_, to, m);
   }
   void send_batch(NodeId to, const std::vector<Message>& ms) {
     if (ms.size() == 1) {

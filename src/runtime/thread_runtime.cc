@@ -65,6 +65,20 @@ TimePoint ThreadRuntime::now() const {
 }
 
 void ThreadRuntime::send(NodeId from, NodeId to, const Message& m) {
+  deliver_wire(from, to, m.encode());
+}
+
+void ThreadRuntime::fanout(NodeId from, const std::vector<NodeId>& to,
+                           const Message& m) {
+  if (to.empty()) return;
+  Bytes wire = m.encode();
+  for (std::size_t i = 0; i + 1 < to.size(); ++i) {
+    deliver_wire(from, to[i], wire);
+  }
+  deliver_wire(from, to.back(), std::move(wire));
+}
+
+void ThreadRuntime::deliver_wire(NodeId from, NodeId to, Bytes wire) {
   {
     MutexLock lock(crash_mu_);
     if (crashed_.contains(from) || crashed_.contains(to)) {
@@ -77,7 +91,7 @@ void ThreadRuntime::send(NodeId from, NodeId to, const Message& m) {
   {
     MutexLock lock(w.mu);
     if (w.stopping) return;
-    w.mailbox.push_back(Mail{from, m.encode()});
+    w.mailbox.push_back(Mail{from, std::move(wire)});
   }
   w.cv.notify_all();
 }

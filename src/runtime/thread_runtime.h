@@ -54,11 +54,17 @@ class ThreadRuntime : public Runtime {
   // Runtime interface ------------------------------------------------------
   TimePoint now() const override;
   void send(NodeId from, NodeId to, const Message& m) override;
+  // Encode-once fan-out: one Message::encode, the wire bytes copied into
+  // each target's mailbox (vs. one encode per target via the default).
+  void fanout(NodeId from, const std::vector<NodeId>& to,
+              const Message& m) override;
   TimerHandle set_timer(NodeId owner, Duration delay,
                         std::uint64_t tag) override;
   void cancel_timer(TimerHandle handle) override;
 
  private:
+  // Mailbox delivery of already-encoded wire bytes (shared by send/fanout).
+  void deliver_wire(NodeId from, NodeId to, Bytes wire);
   struct Mail {
     NodeId from;
     Bytes wire;

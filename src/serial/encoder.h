@@ -30,10 +30,12 @@ class Encoder {
                static_cast<std::uint64_t>(v >> 63));
   }
   void put_bytes(BytesView b) {
+    ensure(kMaxVarintBytes + b.size());
     put_varint(b.size());
     out_.insert(out_.end(), b.begin(), b.end());
   }
   void put_string(std::string_view s) {
+    ensure(kMaxVarintBytes + s.size());
     put_varint(s.size());
     out_.insert(out_.end(), s.begin(), s.end());
   }
@@ -43,6 +45,19 @@ class Encoder {
   std::size_t size() const { return out_.size(); }
 
  private:
+  static constexpr std::size_t kMaxVarintBytes = 10;  // 64 bits / 7, rounded
+
+  // Grows capacity geometrically so a payload-sized append never lands on a
+  // linear reallocation train.  An exact reserve(size+extra) per put would
+  // defeat vector's doubling and turn N appends into O(N^2) copying; this
+  // doubles (from a cacheline-ish floor) and only then clamps to the need.
+  void ensure(std::size_t extra) {
+    const std::size_t need = out_.size() + extra;
+    if (need <= out_.capacity()) return;
+    const std::size_t doubled = out_.capacity() ? out_.capacity() * 2 : 64;
+    out_.reserve(doubled > need ? doubled : need);
+  }
+
   void put_varint(std::uint64_t v) {
     while (v >= 0x80) {
       out_.push_back(static_cast<std::uint8_t>(v) | 0x80);

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "util/bytes.h"
+#include "util/context.h"
 #include "util/ids.h"
 #include "util/result.h"
 #include "util/time.h"
@@ -153,9 +154,9 @@ struct TransferPolicySpec {
 };
 
 // Standalone record codecs, shared by the wire protocol and stable storage.
-Bytes encode_update_record(const UpdateRecord& u);
+CORONA_HOT_PATH Bytes encode_update_record(const UpdateRecord& u);
 Result<UpdateRecord> decode_update_record(BytesView wire);
-Bytes encode_state_entry(const StateEntry& s);
+CORONA_HOT_PATH Bytes encode_state_entry(const StateEntry& s);
 Result<StateEntry> decode_state_entry(BytesView wire);
 
 // ---------------------------------------------------------------------------
@@ -190,7 +191,7 @@ struct Message {
   std::vector<std::uint64_t> u64s;
   TransferPolicySpec policy;
 
-  Bytes encode() const;
+  CORONA_HOT_PATH Bytes encode() const;
   // Encoded size in bytes; this is the size the network model charges.
   std::size_t wire_size() const;
   static Result<Message> decode(BytesView wire);

@@ -1,7 +1,8 @@
-// Execution-context annotations for the interprocedural reachability lint
-// (tools/reach/corona_reach.py; docs/ANALYSIS.md §12).
+// Execution-context annotations for the interprocedural call-graph lints
+// (tools/reach/corona_reach.py, ANALYSIS.md §12; tools/heat/corona_heat.py,
+// ANALYSIS.md §13).
 //
-// Three facts about a function that no type signature carries:
+// Four facts about a function that no type signature carries:
 //
 //   CORONA_BLOCKING      — may park the calling thread in the kernel for an
 //                          unbounded time (fsync, blocking connect, sleep,
@@ -17,6 +18,14 @@
 //                          dispatches: Node::on_start/on_message/on_timer).
 //                          A blocking leaf reachable from here stalls every
 //                          connection on the node.
+//   CORONA_HOT_PATH      — on the per-message fast path: the sequencer is
+//                          the paper's per-message bottleneck (dispatch →
+//                          sequence → apply → log → encode → fan-out on one
+//                          thread), so every allocation, heavy-type copy,
+//                          or string formatting reachable from here is paid
+//                          once per multicast.  corona-heat traces these
+//                          roots and gates its findings behind the reviewed
+//                          copy inventory (tools/heat/heat_baseline.json).
 //
 // Under clang the macros expand to __attribute__((annotate(...))) so the
 // libclang frontend reads them straight off the AST; everywhere else they
@@ -40,3 +49,4 @@
 #define CORONA_BLOCKING CORONA_CTX("corona::blocking")
 #define CORONA_NONBLOCKING CORONA_CTX("corona::nonblocking")
 #define CORONA_LOOP_CONTEXT CORONA_CTX("corona::loop_context")
+#define CORONA_HOT_PATH CORONA_CTX("corona::hot_path")

@@ -403,6 +403,74 @@ TEST(Replicated, SenderExclusiveMulticastSkipsOnlyOrigin) {
   EXPECT_EQ(log.seqs_for(client_id(1)).size(), 1u) << "other member skipped";
 }
 
+TEST(Replicated, BatchedSenderExclusiveMulticastSkipsOnlyOrigin) {
+  // Same contract as above, but through the batched fan-out branch
+  // (batch_max_msgs > 1), which carries its own copy of the origin filter
+  // in leaf_apply_and_fanout.  A single sender-exclusive update rides the
+  // delay-timer flush yet still takes the batched code path, so both
+  // directions of the filter are pinned there too: the origin is skipped,
+  // and only the origin is skipped.
+  SimRuntime rt;
+  testing::DeliveryLog log;
+  ReplicaConfig cfg;
+  cfg.batch_max_msgs = 4;
+  cfg.batch_max_delay = 5 * kMillisecond;
+  std::vector<NodeId> ids{server_id(0), server_id(1), server_id(2)};
+  std::vector<std::unique_ptr<ReplicaServer>> servers;
+  for (std::size_t i = 0; i < 3; ++i) {
+    servers.push_back(std::make_unique<ReplicaServer>(cfg, ids));
+    rt.add_node(ids[i], servers[i].get(), rt.network().add_host(HostProfile{}));
+  }
+  std::vector<std::unique_ptr<CoronaClient>> clients;
+  for (std::size_t i = 0; i < 2; ++i) {
+    clients.push_back(std::make_unique<CoronaClient>(
+        ids[1 + i], log.callbacks_for(client_id(i))));  // one client per leaf
+    rt.add_node(client_id(i), clients.back().get(),
+                rt.network().add_host(HostProfile{}));
+  }
+  rt.start();
+  rt.run_for(500 * kMillisecond);
+  clients[0]->create_group(kG, "g", true);
+  rt.run_for(500 * kMillisecond);
+  clients[0]->join(kG);
+  clients[1]->join(kG);
+  rt.run_for(500 * kMillisecond);
+
+  clients[0]->bcast_update(kG, kObj, to_bytes("x"),
+                           /*sender_inclusive=*/false);
+  rt.run_for(500 * kMillisecond);
+
+  EXPECT_EQ(log.seqs_for(client_id(0)).size(), 0u) << "origin self-delivered";
+  EXPECT_EQ(log.seqs_for(client_id(1)).size(), 1u) << "other member skipped";
+}
+
+TEST(Replicated, LeaveRacingGroupDeleteReportsNotFound) {
+  // A leave that reaches the coordinator after the group was deleted must
+  // come back as an explicit kNotFound reply, not vanish.  The race is
+  // driven deterministically over one leaf's FIFO links: the client issues
+  // delete-then-leave back to back, so the leaf still hosts the group when
+  // the leave arrives (the kGroupDeleted purge is still in flight) and
+  // forwards it upstream; the coordinator has already dropped the group
+  // and must answer with an error that the leaf relays to the client.
+  std::vector<Status> replies;
+  CoronaClient::Callbacks cb;
+  cb.on_reply = [&](RequestId, Status s) { replies.push_back(s); };
+  ReplicatedWorld w(3, 1, ReplicaConfig{}, cb);
+  w.client(0).create_group(kG, "g", true);
+  w.settle();
+  w.client(0).join(kG);
+  w.settle();
+  w.client(0).delete_group(kG);
+  w.client(0).leave(kG);
+  w.settle();
+  bool saw_not_found = false;
+  for (const Status& s : replies) {
+    if (s.code == Errc::kNotFound) saw_not_found = true;
+  }
+  EXPECT_TRUE(saw_not_found)
+      << "leave after delete must surface kNotFound through the leaf";
+}
+
 TEST(Replicated, HotStandbyRetainedWithoutFreshBackupElection) {
   // When a group's last member on a leaf leaves and the copy count would
   // drop below min_copies, the coordinator keeps that leaf as the hot
@@ -477,6 +545,42 @@ TEST(Replicated, BoundedRetransmitRangeIsInclusive) {
   // seq2 == 0 means unbounded: the whole tail from `seq` on.
   probe.got.clear();
   probe.query(w.server_ids[1], kG, /*from=*/2, /*to=*/0);
+  w.settle();
+  ASSERT_EQ(probe.replies, 2);
+  EXPECT_EQ(probe.got, (std::vector<SeqNo>{2, 3, 4}));
+}
+
+TEST(Replicated, CoordinatorBoundedRetransmitCarriesUpdates) {
+  // The COORDINATOR's retransmit handler (coord_handle_state_query) is a
+  // separate code path from the leaf handler the test above exercises: a
+  // leaf recovering its own gap asks the coordinator directly, and the
+  // coordinator only serves REGISTERED peer ids.  The reply must actually
+  // carry the requested records, and the bound seq2 is inclusive — an
+  // empty or one-short reply leaves the requester stuck until unrelated
+  // traffic re-triggers recovery.
+  ReplicatedWorld w(2, 1);
+  w.client(0).create_group(kG, "g", true);
+  w.settle();
+  w.client(0).join(kG);
+  w.settle();
+  for (int i = 0; i < 4; ++i) {
+    w.client(0).bcast_update(kG, kObj, to_bytes("u"));
+  }
+  w.settle();
+
+  // Take over the leaf's node id with the probe so the request arrives
+  // from a registered peer server, exactly as a recovering leaf's would.
+  w.rt.crash(w.server_ids[1]);
+  RangeProbe probe;
+  w.rt.restart(w.server_ids[1], &probe);
+  probe.query(w.server_ids[0], kG, /*from=*/2, /*to=*/3);
+  w.settle();
+  ASSERT_EQ(probe.replies, 1);
+  EXPECT_EQ(probe.got, (std::vector<SeqNo>{2, 3}));
+
+  // seq2 == 0 is unbounded: the whole tail from `seq` on.
+  probe.got.clear();
+  probe.query(w.server_ids[0], kG, /*from=*/2, /*to=*/0);
   w.settle();
   ASSERT_EQ(probe.replies, 2);
   EXPECT_EQ(probe.got, (std::vector<SeqNo>{2, 3, 4}));

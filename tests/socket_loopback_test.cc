@@ -42,10 +42,21 @@ bool wait_until(const std::function<bool()>& pred,
 // the server, plus journals filled from the delivery callback.
 struct ClientProc {
   explicit ClientProc(NodeId id, std::uint16_t server_port,
-                      SocketRuntimeConfig cfg = {})
+                      SocketRuntimeConfig cfg = {},
+                      int first_deliver_stall_ms = 0)
       : rt(cfg), id(id) {
     CoronaClient::Callbacks cb;
-    cb.on_deliver = [this](GroupId, const UpdateRecord& rec) {
+    cb.on_deliver = [this, first_deliver_stall_ms](GroupId,
+                                                   const UpdateRecord& rec) {
+      // A positive stall blocks this client's event loop on its first
+      // delivery.  While it sleeps nothing is read, so the kernel buffers
+      // behind it stay at their small initial sizes and a concurrent
+      // fan-out burst sees genuine EAGAIN backpressure at the server.
+      if (first_deliver_stall_ms > 0 && !stalled) {
+        stalled = true;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(first_deliver_stall_ms));
+      }
       std::lock_guard<std::mutex> lock(mu);
       journal.push_back(rec.seq);
     };
@@ -99,6 +110,7 @@ struct ClientProc {
 
   std::mutex mu;
   std::vector<SeqNo> journal;
+  bool stalled = false;  // loop-thread only
   int joins_ok = 0;
   int lock_grants = 0;
   int replies_ok = 0;
@@ -535,6 +547,54 @@ TEST(SocketLoopback, StopWhileBatchPartiallyDrained) {
   for (std::size_t i = 0; i < got.size(); ++i) {
     EXPECT_EQ(got[i], i) << "delivered batch is not an in-order prefix";
   }
+}
+
+TEST(SocketLoopback, WriteBackpressureDrainsViaEpollout) {
+  // A fan-out burst larger than the kernel socket buffers forces sendmsg
+  // into EAGAIN with frames still queued in user space.  Nothing else ever
+  // pokes that connection again — client heartbeats are off, delivers are
+  // unacknowledged, and the burst is over — so the backlog drains only if
+  // the loop registered EPOLLOUT for the queued bytes.  The receiver stalls
+  // its event loop on the first delivery: with nothing being read, TCP
+  // autotuning cannot grow the buffers past their small initial sizes, so
+  // most of the burst provably lands in the server's user-space queue
+  // rather than being absorbed by the kernel.
+  SocketRuntime server_rt;
+  GroupStore store;
+  CoronaServer server(ServerConfig{}, &store);
+  server_rt.add_node(kServerId, &server);
+  auto port = server_rt.listen("127.0.0.1", 0);
+  ASSERT_TRUE(port.is_ok()) << port.status().to_string();
+  server_rt.start();
+
+  ClientProc sender(NodeId{100}, port.value());
+  ClientProc receiver(NodeId{101}, port.value(), {},
+                      /*first_deliver_stall_ms=*/800);
+  ASSERT_TRUE(wait_until([&] { return server_rt.stats().accepts >= 2; }));
+
+  sender.client->create_group(kG, "g", true);
+  ASSERT_TRUE(wait_until([&] { return sender.replies() >= 1; }));
+  sender.client->join(kG);
+  receiver.client->join(kG);
+  ASSERT_TRUE(wait_until(
+      [&] { return sender.joins() == 1 && receiver.joins() == 1; }));
+
+  // ~6.4 MB of deliveries per client: beyond what the kernel can absorb
+  // for the stalled connection (sndbuf autotunes to at most 4 MB and the
+  // frozen rcvbuf holds a few hundred KB), yet the post-EAGAIN backlog
+  // stays comfortably under the 8 MB per-connection queue cap (overflow
+  // there would drop frames and fail the messages_dropped check below).
+  constexpr std::size_t kBurst = 200;
+  const std::string payload(32 * 1024, 'x');
+  for (std::size_t i = 0; i < kBurst; ++i) {
+    sender.client->bcast_update(kG, kObj, to_bytes(payload));
+  }
+  EXPECT_TRUE(wait_until([&] { return receiver.journal_size() >= kBurst; }))
+      << "fan-out stalled at " << receiver.journal_size() << "/" << kBurst
+      << " -- backlogged frames drain only via EPOLLOUT";
+  EXPECT_TRUE(wait_until([&] { return sender.journal_size() >= kBurst; }));
+  EXPECT_EQ(server_rt.stats().messages_dropped, 0u);
+  server_rt.stop();  // the loop reads `store`, which dies before server_rt
 }
 
 }  // namespace

@@ -1,0 +1,431 @@
+#!/usr/bin/env python3
+"""corona-heat: interprocedural hot-path allocation & copy lint.
+
+The paper's sequencer is the per-message bottleneck: every multicast
+traverses dispatch -> sequence -> apply -> log -> encode -> fan-out on one
+thread, so an allocation or heavy-type copy anywhere on that path is paid
+once per message (sometimes once per member).  ROADMAP item 2 wants a
+zero-copy ByteBuffer hot path; before that refactor can land, somebody has
+to ENUMERATE the copies and stop new ones from landing.  This tool is that
+somebody.
+
+It shares the whole-program call-graph engine with corona-reach
+(tools/analysis/callgraph.py: textual + libclang frontends, conservative
+name-based CHA, waiver parsing) and walks everything reachable from
+functions annotated CORONA_HOT_PATH (src/util/context.h), stopping at
+CORONA_LOOP_CONTEXT dispatch boundaries.  Three rules:
+
+  alloc-in-hot-path    `new`, make_shared/make_unique, node-based container
+                       insertion (insert/emplace), string construction or
+                       concatenation.
+  copy-in-hot-path     copies of heavy types (Message, Bytes, UpdateRecord,
+                       Frame, std::string, std::vector<...>): by-value
+                       parameters that are never std::move'd onward,
+                       by-value returns of the domain types, heavy
+                       copy-initialization from an lvalue, a bare lvalue
+                       passed to send/send_batch or push_back (e.g. the
+                       default fan-out loops re-copying one Message per
+                       target).  send/push_back operands are type-checked
+                       against the function's heavy-typed declarations and
+                       parameters, so pushing a NodeId never flags.
+  format-in-hot-path   to_string / ostringstream / snprintf / std::format
+                       outside the Logger macros (CORONA_LOG / LOG_*),
+                       which already compile out below the active level.
+
+Findings are suppressed by an inline `// heat: waive <rule> -- reason` or
+by the committed baseline tools/heat/heat_baseline.json, where EVERY entry
+carries a written rationale.  That reviewed baseline IS the copy inventory
+ROADMAP item 2b calls for, and the gate makes it monotonically shrinking:
+a new hot-path allocation or copy fails the build; burning an entry down
+removes it from the file.  Finding keys are (rule, containing function,
+leaf kind) — line-number drift does not invalidate the inventory.
+
+Exit status: 0 clean, 1 violations, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(os.path.dirname(HERE), "analysis"))
+import callgraph as cg  # noqa: E402
+from callgraph import (  # noqa: E402,F401 - re-exported for tests
+    CXX_EXTENSIONS,
+    CallgraphConfig,
+    Finding,
+    Graph,
+    annotated_entries,
+    gather_files,
+)
+
+RULES = (
+    "alloc-in-hot-path",
+    "copy-in-hot-path",
+    "format-in-hot-path",
+)
+
+# ---------------------------------------------------------------------------
+# Leaf models
+# ---------------------------------------------------------------------------
+
+# The domain's heavy types: anything holding payload bytes or a container.
+HEAVY_TYPES = r"(?:Message|Bytes|UpdateRecord|Frame|std::string|std::vector\s*<[^<>()]*>)"
+# By-value returns are only flagged for the domain structs: std::string /
+# std::vector returns are endemic to cold accessors sharing names with hot
+# code under CHA, and the real payload carriers are these four.
+HEAVY_RETURN_TYPES = {"Message", "Bytes", "UpdateRecord", "Frame"}
+
+LOG_MACRO_RE = re.compile(r"\bCORONA_LOG\s*\(|\bLOG_(?:TRACE|DEBUG|INFO|WARN|ERROR)\s*\(")
+
+ALLOC_LEAVES = [
+    ("new-expr", re.compile(r"\bnew\s+[A-Za-z_(]")),
+    ("make-managed", re.compile(r"\bmake_(?:shared|unique)\s*<")),
+    # insert/emplace are node allocations on the associative containers the
+    # tree actually uses on these paths (std::map member indices, outbox
+    # maps).  Contiguous growth is NOT this leaf: emplace_back/emplace_front
+    # and range-append (`v.insert(v.end(), ...)`) are amortized O(1) once
+    # the buffer is reserved, which the encoder/frame reserve() work
+    # guarantees — flagging them would re-open trivially-fixed entries.
+    ("container-insert",
+     re.compile(r"\.\s*(?:insert|emplace)(?!_back|_front|_hint)\s*\("
+                r"\s*(?![A-Za-z_][\w.\->]*(?:\.|->)\s*end\s*\()")),
+    ("string-build",
+     re.compile(r"\bstd::string\s*[({]|\+\s*\"|\"\s*\+|\+=\s*\""),
+     LOG_MACRO_RE),
+]
+
+COPY_LEAVES = [
+    # Heavy-type copy-initialization from a bare lvalue chain (`Message m =
+    # other;`, `Bytes b = rec.data;`).  Initialization from a call is not
+    # matched: that is RVO/move territory, and the callee's return type is
+    # what byval-return audits.
+    ("copy-init", re.compile(
+        rf"\b(?:const\s+)?{HEAVY_TYPES}\s+\w+\s*=\s*"
+        r"[A-Za-z_]\w*(?:(?:\.|->)\w+)*\s*$")),
+    # A bare lvalue handed to the fan-out primitives: the default engine
+    # loops copy/re-encode it once per target.  std::move(x) and nested
+    # calls deliberately do not match.  The captured operand name is
+    # type-checked against the function's heavy declarations (below), so
+    # `send(from, t, m)` flags only when `m` is a Message/Bytes/..., not
+    # when it is a NodeId or other scalar.
+    ("copy-arg", re.compile(
+        r"\bsend(?:_batch)?\s*\([^()]*,\s*([A-Za-z_]\w*)\s*\)")),
+    # push_back of a bare lvalue copies; push_back(std::move(x)) does not.
+    # Operand-filtered like copy-arg: pushing a NodeId is not a copy worth
+    # inventorying.
+    ("copy-push", re.compile(r"\bpush_back\s*\(\s*([A-Za-z_]\w*)\s*\)")),
+]
+
+# Harvest model (produces no findings itself): names declared with a heavy
+# type inside each body, by value or by reference — the reference case
+# matters because copying *through* a `const Message&` is still a deep copy.
+HEAVY_DECL_LEAVES = [
+    ("decl", re.compile(
+        rf"\b(?:const\s+)?{HEAVY_TYPES}(?:\s+|\s*&&?\s*)([A-Za-z_]\w*)")),
+]
+
+FORMAT_LEAVES = [
+    ("stream-format", re.compile(
+        r"\bo?stringstream\b|\bstd::format\s*\(|\bs?n?printf\s*\(",
+    ), LOG_MACRO_RE),
+    ("to-string", re.compile(r"\bto_string\s*\("), LOG_MACRO_RE),
+]
+
+CONFIG = CallgraphConfig(
+    tool="heat",
+    rules=RULES,
+    leaf_models={
+        "alloc": ALLOC_LEAVES,
+        "copy": COPY_LEAVES,
+        "format": FORMAT_LEAVES,
+        "heavydecl": HEAVY_DECL_LEAVES,
+    },
+)
+
+RULE_MODEL = {
+    "alloc-in-hot-path": "alloc",
+    "copy-in-hot-path": "copy",
+    "format-in-hot-path": "format",
+}
+
+# Header analysis for copy-in-hot-path: by-value heavy parameters and
+# by-value heavy returns, derived from the definition's signature text.
+BYVAL_PARAM_RE = re.compile(
+    rf"(?P<const>\bconst\s+)?(?P<type>{HEAVY_TYPES})\s+"
+    r"(?P<name>[A-Za-z_]\w*)\s*(?=,|\))")
+# Any heavy parameter (value OR reference): seeds the per-function heavy
+# name set used to type-check copy-arg/copy-push operands.
+HEAVY_PARAM_RE = re.compile(
+    rf"\b(?:const\s+)?{HEAVY_TYPES}(?:\s+|\s*&&?\s*)"
+    r"([A-Za-z_]\w*)\s*(?=,|\)|=)")
+COPY_OPERAND_RE = re.compile(r"^(copy-arg|copy-push)\((\w+)\)$")
+HEADER_SPECIFIERS = {
+    "static", "inline", "constexpr", "virtual", "explicit", "friend",
+    "extern",
+}
+
+# ---------------------------------------------------------------------------
+# Engine entry points, bound to this tool's config
+# ---------------------------------------------------------------------------
+
+_load_cindex = cg.load_cindex
+
+
+def build_graph_textual(files: list) -> Graph:
+    return cg.build_graph_textual(files, CONFIG)
+
+
+def build_graph_libclang(db_dir: str, files: list) -> Graph | None:
+    return cg.build_graph_libclang(db_dir, files, CONFIG)
+
+
+# ---------------------------------------------------------------------------
+# Rules
+# ---------------------------------------------------------------------------
+
+def hot_reachable(graph: Graph, rule: str) -> dict:
+    """qname -> via tuple for everything reachable from a CORONA_HOT_PATH
+    entry (CHA-widened), stopping at loop-context dispatch boundaries and
+    honoring `// heat: waive` on definitions and call sites."""
+    entries = annotated_entries(graph, "hot_path")
+    boundary = annotated_entries(graph, "loop_context") - entries
+    via = {}
+    queue = []
+    for entry in sorted(entries):
+        fn = graph.functions.get(entry)
+        if fn is None or rule in fn.waived:
+            continue
+        via[entry] = (entry,)
+        queue.append(entry)
+    while queue:
+        qname = queue.pop(0)
+        fn = graph.functions.get(qname)
+        if fn is None:
+            continue
+        for call in fn.calls:
+            if rule in call.waived:
+                continue
+            for callee in graph.resolve(call):
+                if callee in via or callee in boundary:
+                    continue
+                cf = graph.functions.get(callee)
+                if cf is None or rule in cf.waived:
+                    continue
+                via[callee] = via[qname] + (callee,)
+                queue.append(callee)
+    return via
+
+
+def _return_type(header: str) -> str | None:
+    head = header.split("(", 1)[0]
+    toks = [t for t in head.replace("\t", " ").split()
+            if t not in HEADER_SPECIFIERS
+            and not t.startswith(("CORONA_", "[["))]
+    return toks[0] if len(toks) >= 2 else None
+
+
+def _header_findings(fn, rule: str) -> list:
+    """(leaf, line) copy findings derived from the signature: by-value
+    heavy parameters never moved onward, and by-value heavy returns."""
+    out = []
+    if not fn.header or rule in fn.waived:
+        return out
+    if "(" in fn.header:
+        params = fn.header.split("(", 1)[1]
+        for m in BYVAL_PARAM_RE.finditer(params):
+            name = m.group("name")
+            if m.group("const"):
+                # `const T x`: by value AND unmovable — always a copy.
+                out.append((f"byval-param({name})", fn.line))
+            elif name not in fn.moves:
+                out.append((f"byval-param({name})", fn.line))
+    rt = _return_type(fn.header)
+    if rt in HEAVY_RETURN_TYPES:
+        out.append((f"byval-return({rt})", fn.line))
+    return out
+
+
+def _heavy_names(fn) -> set:
+    """Names with a heavy declared type in `fn`: body declarations (from
+    the heavydecl harvest model) plus heavy parameters, by value or ref."""
+    names = set()
+    for label, _line, _locked, _waive in fn.hits("heavydecl"):
+        if label.startswith("decl(") and label.endswith(")"):
+            names.add(label[5:-1])
+    if fn.header and "(" in fn.header:
+        params = fn.header.split("(", 1)[1]
+        for m in HEAVY_PARAM_RE.finditer(params):
+            names.add(m.group(1))
+    return names
+
+
+def run_rules(graph: Graph) -> list:
+    findings = []
+    for rule in RULES:
+        model = RULE_MODEL[rule]
+        reachable = hot_reachable(graph, rule)
+        for qname in sorted(reachable):
+            fn = graph.functions.get(qname)
+            if fn is None:
+                continue
+            via = " -> ".join(reachable[qname])
+            for leaf, line, _locked, waive in fn.hits(model):
+                if rule in waive:
+                    continue
+                op = COPY_OPERAND_RE.match(leaf)
+                if op and op.group(2) not in _heavy_names(fn):
+                    # The pushed/sent operand is not a known heavy-typed
+                    # lvalue in this function (e.g. a NodeId) — cheap copy.
+                    continue
+                findings.append(Finding(rule, qname, leaf,
+                                        fn.rel or fn.path, line, via))
+            if rule == "copy-in-hot-path":
+                for leaf, line in _header_findings(fn, rule):
+                    findings.append(Finding(rule, qname, leaf,
+                                            fn.rel or fn.path, line, via))
+    uniq = {}
+    for f in findings:
+        uniq.setdefault(f.key, f)
+    return [uniq[k] for k in sorted(uniq)]
+
+
+# ---------------------------------------------------------------------------
+# Baseline + CLI
+# ---------------------------------------------------------------------------
+
+DEFAULT_BASELINE = os.path.join(HERE, "heat_baseline.json")
+
+BASELINE_COMMENT = (
+    "corona-heat copy inventory (ROADMAP item 2b).  Every entry is a "
+    "known allocation/copy/format on the CORONA_HOT_PATH fast path with a "
+    "reviewed rationale; the gate makes this list monotonically shrinking "
+    "— new hot-path findings fail the build, and burning one down removes "
+    "its entry.  Refresh with --write-baseline after review — existing "
+    "rationales are preserved.")
+
+
+def load_baseline(path: str) -> dict:
+    return cg.load_baseline(path, "heat")
+
+
+def write_baseline(path: str, findings: list, old: dict) -> None:
+    cg.write_baseline(path, findings, old, "heat", BASELINE_COMMENT)
+
+
+def main(argv: list) -> int:
+    parser = argparse.ArgumentParser(
+        prog="corona-heat",
+        description="interprocedural hot-path allocation & copy lint",
+    )
+    parser.add_argument("inputs", nargs="+",
+                        help="optional compile_commands.json followed by "
+                             "source files/directories")
+    parser.add_argument("--frontend", choices=("auto", "textual", "libclang"),
+                        default="auto")
+    parser.add_argument("--require-libclang", action="store_true",
+                        help="fail (exit 2) instead of falling back to the "
+                             "textual frontend when libclang is unavailable")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="findings baseline (default: committed "
+                             "heat_baseline.json when present)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="report every finding; ignore any baseline")
+    parser.add_argument("--write-baseline", metavar="FILE",
+                        help="write the observed findings (preserving "
+                             "existing rationales) and exit")
+    parser.add_argument("--print-graph", action="store_true",
+                        help="dump every call edge")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    db_path = None
+    paths = []
+    for inp in args.inputs:
+        if inp.endswith(".json"):
+            db_path = inp
+        else:
+            paths.append(inp)
+    if not paths:
+        print("heat: no source paths given", file=sys.stderr)
+        return 2
+
+    files = [f for f in gather_files(paths)
+             if os.path.splitext(f)[1] in CXX_EXTENSIONS]
+
+    graph = None
+    frontend = args.frontend
+    if frontend in ("auto", "libclang"):
+        if db_path and os.path.isfile(db_path):
+            graph = build_graph_libclang(os.path.dirname(
+                os.path.abspath(db_path)) or ".", files)
+        if graph is None:
+            msg = ("heat: libclang frontend unavailable "
+                   "(no python clang bindings or no compile_commands.json)")
+            if args.require_libclang or frontend == "libclang":
+                print(f"{msg}; --require-libclang set, failing",
+                      file=sys.stderr)
+                return 2
+            if not args.quiet:
+                print(f"{msg}; falling back to the textual frontend",
+                      file=sys.stderr)
+    if graph is None:
+        graph = build_graph_textual(files)
+
+    findings = run_rules(graph)
+
+    if args.print_graph:
+        for qname in sorted(graph.functions):
+            fn = graph.functions[qname]
+            tags = ",".join(sorted(fn.annotations)) or "-"
+            print(f"fn {qname} [{tags}] ({fn.rel or fn.path}:{fn.line})")
+            for call in fn.calls:
+                print(f"  -> {call.qualified or call.simple}")
+
+    if args.write_baseline:
+        old = (load_baseline(args.write_baseline)
+               if os.path.isfile(args.write_baseline) else {})
+        write_baseline(args.write_baseline, findings, old)
+        return 0
+
+    baseline = {}
+    baseline_path = args.baseline
+    if not args.no_baseline and not baseline_path and \
+            os.path.isfile(DEFAULT_BASELINE):
+        baseline_path = DEFAULT_BASELINE
+    if not args.no_baseline and baseline_path:
+        baseline = load_baseline(baseline_path)
+
+    failures = 0
+    matched = set()
+    for f in findings:
+        rationale = baseline.get(f.key)
+        if rationale:
+            matched.add(f.key)
+            continue
+        failures += 1
+        if rationale == "":
+            print(f"{f.path}:{f.line}: [{f.rule}] {f.subject} incurs "
+                  f"{f.leaf} — baselined WITHOUT a rationale; justify it "
+                  f"in {baseline_path}")
+        else:
+            print(f"{f.path}:{f.line}: [{f.rule}] {f.subject} incurs "
+                  f"{f.leaf}")
+        print(f"    via {f.via}")
+    for key in sorted(set(baseline) - matched):
+        print(f"heat: note: stale baseline entry {key} no longer observed",
+              file=sys.stderr)
+
+    if not args.quiet:
+        print(f"heat: {len(files)} files, {len(graph.functions)} "
+              f"function(s), {len(findings)} finding(s), "
+              f"{len(matched)} baselined, {failures} violation(s)",
+              file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

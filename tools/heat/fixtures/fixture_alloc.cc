@@ -1,0 +1,28 @@
+// heat fixture: planted alloc-in-hot-path violations.  A node-based
+// container insertion on the hot entry itself, and a raw `new` behind a
+// helper one call away — both must be reported with their via chains.
+#include <cstdint>
+#include <map>
+
+#define CORONA_HOT_PATH
+
+struct Slot {
+  std::uint64_t id;
+};
+
+class AllocIngest {
+ public:
+  CORONA_HOT_PATH void on_ingest(std::uint64_t id) {
+    index_.emplace(id, next_++);  // planted: container-insert
+    tag(id);
+  }
+
+ private:
+  void tag(std::uint64_t id) {
+    last_ = new Slot{id};  // planted: new-expr
+  }
+
+  std::map<std::uint64_t, std::uint64_t> index_;
+  std::uint64_t next_ = 0;
+  Slot* last_ = nullptr;
+};

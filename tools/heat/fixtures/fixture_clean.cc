@@ -1,0 +1,48 @@
+// heat fixture: entirely clean hot-path code.  Ownership transfer by move,
+// scalar push_back, reserved range-append, log-macro formatting, and a
+// loop-context dispatch boundary — the tool must report nothing here.
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#define CORONA_HOT_PATH
+#define CORONA_LOOP_CONTEXT
+#define CORONA_LOG(...) do {} while (0)
+
+struct Message {
+  std::vector<std::uint8_t> payload;
+};
+
+class MoveForward {
+ public:
+  // By-value heavy parameter moved onward: ownership transfer, not a copy.
+  CORONA_HOT_PATH void on_accept(Message m) {
+    enqueue(std::move(m));
+  }
+
+  CORONA_HOT_PATH void on_route(std::uint64_t peer) {
+    peers_.push_back(peer);  // scalar push: not a heavy copy
+    CORONA_LOG("routed " + std::to_string(peer));  // compiled-out log path
+    audit();
+  }
+
+ private:
+  void enqueue(Message m) {
+    // Reserved contiguous range-append is amortized growth, not a node
+    // allocation; the final push hands the buffer over by move.
+    flat_.reserve(flat_.size() + m.payload.size());
+    flat_.insert(flat_.end(), m.payload.begin(), m.payload.end());
+    queue_.push_back(std::move(m));
+  }
+
+  // Dispatch boundary: annotated loop-context and allocating freely — the
+  // hot-path walk must stop at this edge.
+  CORONA_LOOP_CONTEXT void audit() {
+    trail_ = new std::uint64_t[4];
+  }
+
+  std::vector<Message> queue_;
+  std::vector<std::uint8_t> flat_;
+  std::vector<std::uint64_t> peers_;
+  std::uint64_t* trail_ = nullptr;
+};

@@ -1,0 +1,45 @@
+// heat fixture: planted copy-in-hot-path violations, one per leaf shape.
+// A by-value heavy parameter never moved onward, a heavy copy-init from an
+// lvalue, a heavy lvalue pushed into an outbox, a heavy lvalue re-sent per
+// fan-out target, and a by-value heavy return two calls in.  The scalar
+// target ids travelling next to them must NOT flag.
+#include <cstdint>
+#include <vector>
+
+#define CORONA_HOT_PATH
+
+struct Message {
+  std::vector<std::uint8_t> payload;
+};
+
+class CopyFanout {
+ public:
+  // planted: byval-param(m) — by value, never std::move'd onward.
+  CORONA_HOT_PATH void on_publish(Message m) {
+    Message dup = m;  // planted: copy-init
+    Message note = make_note();  // RVO territory; flags the callee, not here
+    stash(dup);
+    stash(note);
+    broadcast(m);
+  }
+
+ private:
+  Message make_note();  // planted: byval-return(Message)
+
+  void stash(const Message& m) {
+    outbox_.push_back(m);  // planted: copy-push(m)
+  }
+
+  void broadcast(const Message& m) {
+    for (std::uint64_t t : targets_) {
+      send(t, m);  // planted: copy-arg(m) — one deep copy per target
+    }
+  }
+
+  void send(std::uint64_t to, const Message& m);
+
+  std::vector<Message> outbox_;
+  std::vector<std::uint64_t> targets_;
+};
+
+Message CopyFanout::make_note() { return Message{}; }

@@ -1,0 +1,27 @@
+// heat fixture: planted format-in-hot-path violations.  A stringstream and
+// a bare std::to_string behind a helper must be reported; the same
+// formatting inside the logging macro is sanctioned (it compiles out below
+// the active level) and must stay silent.
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#define CORONA_HOT_PATH
+#define CORONA_LOG(...) do {} while (0)
+
+class FormatTrace {
+ public:
+  CORONA_HOT_PATH void on_commit(std::uint64_t seq) {
+    note_ = describe(seq);
+    CORONA_LOG("commit " + std::to_string(seq));  // log macro: sanctioned
+  }
+
+ private:
+  std::string describe(std::uint64_t seq) {
+    std::ostringstream os;  // planted: stream-format
+    os << "seq=" << std::to_string(seq);  // planted: to-string
+    return os.str();
+  }
+
+  std::string note_;
+};

@@ -1,0 +1,20 @@
+// heat fixture: a planted heavy copy carrying an inline waiver.  The tool
+// must stay silent — the waiver names the rule and states its reason.
+#include <cstdint>
+#include <vector>
+
+#define CORONA_HOT_PATH
+
+using Bytes = std::vector<std::uint8_t>;
+
+class WaivedMirror {
+ public:
+  CORONA_HOT_PATH void on_frame(const Bytes& wire) {
+    // heat: waive copy-in-hot-path -- the mirror buffer intentionally owns
+    // a second copy; this is the sanctioned tee point.
+    mirror_.push_back(wire);
+  }
+
+ private:
+  std::vector<Bytes> mirror_;
+};

@@ -1,0 +1,222 @@
+#!/usr/bin/env python3
+"""Self-test for corona_heat.py: every planted fixture violation — the
+alloc, copy and format leaf shapes, including the signature-derived
+by-value findings — must be caught, every sanctioned counter-case (moves,
+scalar pushes, reserved range-appends, log macros, waivers, loop-context
+boundaries) must stay silent, the baseline gate must enforce written
+rationales, and the shared call-graph engine must keep corona-reach's own
+fixtures reporting exactly what they did before the extraction."""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, HERE)
+import corona_heat  # noqa: E402
+
+FIXTURES = os.path.join(HERE, "fixtures")
+REACH_DIR = os.path.join(os.path.dirname(HERE), "reach")
+
+
+def run(argv: list[str]) -> tuple[int, str, str]:
+    out, err = io.StringIO(), io.StringIO()
+    with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+        code = corona_heat.main(argv)
+    return code, out.getvalue(), err.getvalue()
+
+
+def fixture(name: str) -> str:
+    return os.path.join(FIXTURES, name)
+
+
+def run_fixture(name: str) -> tuple[int, str, str]:
+    return run(["--frontend", "textual", "--no-baseline", fixture(name)])
+
+
+class AllocInHotPath(unittest.TestCase):
+    def test_container_insert_and_new_behind_a_helper(self) -> None:
+        code, out, _ = run_fixture("fixture_alloc.cc")
+        self.assertEqual(code, 1)
+        self.assertIn("[alloc-in-hot-path]", out)
+        self.assertIn("container-insert", out)
+        self.assertIn("new-expr", out)
+        # The via chain walks through the helper, not just the entry.
+        self.assertIn("AllocIngest::on_ingest -> AllocIngest::tag", out)
+
+
+class CopyInHotPath(unittest.TestCase):
+    def test_all_five_copy_shapes_are_caught(self) -> None:
+        code, out, _ = run_fixture("fixture_copy.cc")
+        self.assertEqual(code, 1)
+        self.assertIn("byval-param(m)", out)
+        self.assertIn("copy-init", out)
+        self.assertIn("copy-push(m)", out)
+        self.assertIn("copy-arg(m)", out)
+        self.assertIn("byval-return(Message)", out)
+
+    def test_scalar_operands_do_not_flag(self) -> None:
+        # `send(t, m)` flags because m is a Message; the scalar target id
+        # next to it must never surface as an operand.
+        _, out, _ = run_fixture("fixture_copy.cc")
+        self.assertNotIn("copy-arg(t)", out)
+        self.assertNotIn("copy-push(t)", out)
+
+    def test_rvo_initialization_flags_the_callee_not_the_caller(self) -> None:
+        _, out, _ = run_fixture("fixture_copy.cc")
+        # `Message note = make_note()` is not a copy-init; the by-value
+        # return is charged to make_note's signature.
+        self.assertNotIn("fixture_copy.cc:20", out)
+        self.assertIn("CopyFanout::make_note incurs byval-return", out)
+
+
+class FormatInHotPath(unittest.TestCase):
+    def test_stream_and_to_string_behind_a_helper(self) -> None:
+        code, out, _ = run_fixture("fixture_format.cc")
+        self.assertEqual(code, 1)
+        self.assertIn("[format-in-hot-path]", out)
+        self.assertIn("stream-format", out)
+        self.assertIn("to-string", out)
+        self.assertIn("FormatTrace::on_commit -> FormatTrace::describe", out)
+
+    def test_log_macro_formatting_is_sanctioned(self) -> None:
+        _, out, _ = run_fixture("fixture_format.cc")
+        # on_commit's only formatting sits inside CORONA_LOG.
+        self.assertNotIn("on_commit incurs", out)
+
+
+class Waivers(unittest.TestCase):
+    def test_waived_planted_copy_is_suppressed(self) -> None:
+        code, out, err = run_fixture("fixture_waived.cc")
+        self.assertEqual(code, 0, out + err)
+
+    def test_clean_fixture_is_clean(self) -> None:
+        # Moves, scalar pushes, reserved range-appends, log macros, and a
+        # loop-context boundary hiding an allocation: all silent.
+        code, out, err = run_fixture("fixture_clean.cc")
+        self.assertEqual(code, 0, out + err)
+
+    def test_whole_fixture_dir_plants_exactly_nine_findings(self) -> None:
+        # alloc: container-insert + new-expr; copy: byval-param, copy-init,
+        # copy-push, copy-arg, byval-return; format: stream-format +
+        # to-string.  waived + clean contribute nothing.
+        code, out, _ = run(["--frontend", "textual", "--no-baseline",
+                            FIXTURES])
+        self.assertEqual(code, 1)
+        self.assertEqual(len([ln for ln in out.splitlines()
+                              if "] " in ln and " incurs " in ln]), 9)
+
+
+class Baseline(unittest.TestCase):
+    def test_baseline_requires_a_written_rationale(self) -> None:
+        with tempfile.TemporaryDirectory() as tmp:
+            base = os.path.join(tmp, "baseline.json")
+            code, _, err = run(["--frontend", "textual",
+                                "--write-baseline", base,
+                                fixture("fixture_alloc.cc")])
+            self.assertEqual(code, 0, err)
+
+            # Freshly written entries have empty rationales: still a gate
+            # failure, with a message pointing at the baseline.
+            code, out, _ = run(["--frontend", "textual", "--baseline", base,
+                                fixture("fixture_alloc.cc")])
+            self.assertEqual(code, 1)
+            self.assertIn("WITHOUT a rationale", out)
+
+            with open(base, encoding="utf-8") as f:
+                payload = json.load(f)
+            self.assertEqual(len(payload["findings"]), 2)
+            for entry in payload["findings"]:
+                entry["rationale"] = "reviewed: fixture"
+            with open(base, "w", encoding="utf-8") as f:
+                json.dump(payload, f)
+
+            code, out, err = run(["--frontend", "textual",
+                                  "--baseline", base,
+                                  fixture("fixture_alloc.cc")])
+            self.assertEqual(code, 0, out + err)
+
+    def test_rewrite_preserves_existing_rationales(self) -> None:
+        with tempfile.TemporaryDirectory() as tmp:
+            base = os.path.join(tmp, "baseline.json")
+            run(["--frontend", "textual", "--write-baseline", base,
+                 fixture("fixture_alloc.cc")])
+            with open(base, encoding="utf-8") as f:
+                payload = json.load(f)
+            payload["findings"][0]["rationale"] = "kept across rewrites"
+            with open(base, "w", encoding="utf-8") as f:
+                json.dump(payload, f)
+
+            run(["--frontend", "textual", "--write-baseline", base,
+                 fixture("fixture_alloc.cc")])
+            with open(base, encoding="utf-8") as f:
+                payload = json.load(f)
+            self.assertEqual(payload["findings"][0]["rationale"],
+                             "kept across rewrites")
+
+    def test_new_finding_fails_against_a_clean_baseline(self) -> None:
+        with tempfile.TemporaryDirectory() as tmp:
+            base = os.path.join(tmp, "baseline.json")
+            run(["--frontend", "textual", "--write-baseline", base,
+                 fixture("fixture_clean.cc")])
+            code, out, _ = run(["--frontend", "textual", "--baseline", base,
+                                fixture("fixture_copy.cc")])
+            self.assertEqual(code, 1)
+            self.assertIn("copy-in-hot-path", out)
+
+
+class Frontends(unittest.TestCase):
+    def test_require_libclang_fails_loudly_when_absent(self) -> None:
+        if corona_heat._load_cindex() is not None:
+            self.skipTest("libclang present; fallback path not reachable")
+        code, _, err = run(["--frontend", "libclang", "--require-libclang",
+                            fixture("fixture_clean.cc")])
+        self.assertEqual(code, 2)
+        self.assertIn("libclang", err)
+
+    def test_auto_falls_back_to_textual_with_a_notice(self) -> None:
+        if corona_heat._load_cindex() is not None:
+            self.skipTest("libclang present; fallback path not reachable")
+        code, _, err = run([fixture("fixture_clean.cc")])
+        self.assertEqual(code, 0)
+
+    def test_compile_commands_positional_is_accepted(self) -> None:
+        # The acceptance-command shape: a .json db first, sources after.
+        # Without libclang the db is ignored and textual runs.
+        with tempfile.TemporaryDirectory() as tmp:
+            db = os.path.join(tmp, "compile_commands.json")
+            with open(db, "w", encoding="utf-8") as f:
+                f.write("[]")
+            code, out, err = run([db, fixture("fixture_clean.cc"),
+                                  "--no-baseline"])
+            self.assertEqual(code, 0, out + err)
+
+
+class SharedEngineNoDrift(unittest.TestCase):
+    """The callgraph extraction must not change what corona-reach reports:
+    its fixture directory still plants exactly seven findings."""
+
+    def test_reach_fixtures_unchanged(self) -> None:
+        sys.path.insert(0, REACH_DIR)
+        try:
+            import corona_reach  # noqa: PLC0415
+        finally:
+            sys.path.remove(REACH_DIR)
+        out, err = io.StringIO(), io.StringIO()
+        with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+            code = corona_reach.main(
+                ["--frontend", "textual", "--no-baseline",
+                 os.path.join(REACH_DIR, "fixtures")])
+        self.assertEqual(code, 1)
+        self.assertEqual(len([ln for ln in out.getvalue().splitlines()
+                              if "] " in ln and " reaches " in ln]), 7)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -33,6 +33,17 @@ source file, mutation and stage plan are unchanged; killed verdicts stay
 valid when tests are only added (oracles grow monotonically), survivors are
 re-run with --recheck-survivors.
 
+Some survivors are not oracle holes: a mutant can be semantically
+equivalent to the original program (dead defensive code, an unreachable
+boundary, a latency heuristic no deterministic test may pin).  Those are
+recorded in the `equivalents` section of MUTATION_BASELINE.json, keyed by
+a line-number-free id (`rel:op:k-sig` — the sig hashes the line content,
+so the key survives renumbering) and each carrying a mandatory written
+rationale (the analysis lives in ANALYSIS.md §7).  Recorded equivalents
+still execute but are excluded from the score denominator, and one that a
+test manages to KILL fails the run until its stale entry is deleted — the
+ledger only shrinks as oracles strengthen, like the lint baselines.
+
 Modes
     --list                enumerate mutation points, run nothing
     --full                run every generated mutant (capped by --max-mutants)
@@ -610,6 +621,70 @@ def deterministic_sample(mutants: list[Mutant], n: int,
 
 
 # ---------------------------------------------------------------------------
+# Reviewed-equivalent ledger
+# ---------------------------------------------------------------------------
+
+def stable_key(mid: str) -> str:
+    """Line-number-free mutant key (`rel:op:k-sig`).  The sig hashes the
+    line's content together with its mutation, so the key survives the
+    renumbering that unrelated edits cause — the same property the lint
+    baselines get from `(rule, subject, leaf)` keys."""
+    if mid.count(":") < 3:
+        return mid  # goldens and other non-positional ids
+    rel, _line, op, tail = mid.rsplit(":", 3)
+    return f"{rel}:{op}:{tail}"
+
+
+def load_equivalents(baseline: dict) -> dict[str, str]:
+    """The `equivalents` section of the CI baseline: reviewed mutants that
+    are semantically equivalent to the original program (or observable only
+    through means the suite deliberately excludes, e.g. death tests).  Each
+    entry must carry a written rationale; they are excluded from the score
+    denominator, and a recorded equivalent that a test KILLS fails the run
+    loudly — the ledger must shrink when the oracles strengthen, exactly
+    like the lint baselines."""
+    out: dict[str, str] = {}
+    for entry in baseline.get("equivalents", []):
+        key, rationale = entry.get("key", ""), entry.get("rationale", "")
+        if not key or not rationale.strip():
+            raise ValueError(
+                f"equivalents entry {key!r} has no written rationale")
+        out[key] = rationale
+    return out
+
+
+def resolve_equivalents(equivalents: dict[str, str],
+                        all_mutants: list[Mutant]) -> dict[str, str]:
+    """Map ledger keys onto current mutant ids.  A key may be a full
+    line-qualified id (exact, survives textual twins) or the line-free
+    stable key (survives renumbering).  A stable key matching several
+    mutation points — identical lines elsewhere in the same file — is
+    refused: twins can differ semantically (`n > 0` after sendmsg is an
+    unreachable boundary; the same text after recv is an EOF bug), so an
+    ambiguous entry must pin the exact id.  Raises ValueError."""
+    all_mids = {m.mid for m in all_mutants}
+    by_stable: dict[str, list[str]] = {}
+    for m in all_mutants:
+        by_stable.setdefault(stable_key(m.mid), []).append(m.mid)
+    resolved: dict[str, str] = {}
+    for key, why in equivalents.items():
+        if key in all_mids:
+            resolved[key] = why
+            continue
+        mids = by_stable.get(key, [])
+        if len(mids) > 1:
+            raise ValueError(
+                f"equivalents ledger key {key!r} is ambiguous — "
+                f"{len(mids)} textual twins ({', '.join(sorted(mids))}); "
+                "pin the full line-qualified id")
+        if mids:
+            resolved[mids[0]] = why
+        # An unmatched key is not an error: the line content changed or the
+        # mutation point vanished; the entry is inert until it matches.
+    return resolved
+
+
+# ---------------------------------------------------------------------------
 # Reporting
 # ---------------------------------------------------------------------------
 
@@ -617,6 +692,10 @@ def summarize(results: list[dict], generated: int, config: dict) -> dict:
     executed = [r for r in results if r["status"] != "stillborn"]
     killed = [r for r in executed if r["status"] == "killed"]
     survived = [r for r in executed if r["status"] == "survived"]
+    # Reviewed equivalents are executed (so a stale entry is noticed) but
+    # excluded from the score denominator: an unkillable mutant measures
+    # nothing about oracle strength.
+    equivalent = [r for r in executed if r["status"] == "equivalent"]
     by_stage: dict[str, int] = {}
     by_op: dict[str, dict[str, int]] = {}
     by_dir: dict[str, dict[str, int]] = {}
@@ -624,15 +703,18 @@ def summarize(results: list[dict], generated: int, config: dict) -> dict:
         by_stage[str(r["stage"])] = by_stage.get(str(r["stage"]), 0) + 1
     for r in executed:
         for table, key in ((by_op, r["op"]), (by_dir, top_dir(r["file"]))):
-            slot = table.setdefault(key, {"killed": 0, "survived": 0})
-            slot["killed" if r["status"] == "killed" else "survived"] += 1
-    score = (len(killed) / len(executed)) if executed else 0.0
+            slot = table.setdefault(
+                key, {"killed": 0, "survived": 0, "equivalent": 0})
+            slot[r["status"]] += 1
+    scored = len(killed) + len(survived)
+    score = (len(killed) / scored) if scored else 0.0
     return {
         "config": config,
         "generated": generated,
         "executed": len(executed),
         "killed": len(killed),
         "survived": len(survived),
+        "equivalent": len(equivalent),
         "stillborn": len(results) - len(executed),
         "score": round(score, 4),
         "killed_by_stage": by_stage,
@@ -697,8 +779,27 @@ def main(argv: list[str]) -> int:
     repo = os.path.abspath(args.repo)
     build_root = args.build_root or os.path.join(repo, "build", "mutate")
 
+    # The reviewed-equivalent ledger applies in every mode, not just --ci:
+    # the default baseline is consulted when --baseline is not given.
+    baseline_path = args.baseline or os.path.join(
+        repo, "tools", "mutate", "MUTATION_BASELINE.json")
+    baseline: dict = {}
+    if os.path.isfile(baseline_path):
+        with open(baseline_path, encoding="utf-8") as f:
+            baseline = json.load(f)
+    try:
+        equivalents = load_equivalents(baseline)
+    except ValueError as e:
+        print(f"corona-mutate: {e}", file=sys.stderr)
+        return 2
+
     all_mutants = scan_tree(repo)
     goldens = golden_mutants(repo)
+    try:
+        equivalents = resolve_equivalents(equivalents, all_mutants)
+    except ValueError as e:
+        print(f"corona-mutate: {e}", file=sys.stderr)
+        return 2
 
     if args.list:
         for m in sorted(all_mutants, key=lambda m: m.mid):
@@ -725,10 +826,6 @@ def main(argv: list[str]) -> int:
         chosen, run_goldens = [], goldens
         config["mode"] = "golden-only"
     elif args.ci:
-        baseline = {}
-        if args.baseline:
-            with open(args.baseline, encoding="utf-8") as f:
-                baseline = json.load(f)
         n = int(baseline.get("sample_size", 10))
         seed = int(baseline.get("sample_seed", args.sample_seed))
         chosen = deterministic_sample(all_mutants, n, seed)
@@ -758,6 +855,7 @@ def main(argv: list[str]) -> int:
 
     results: list[dict] = []
     golden_results: list[dict] = []
+    stale_equivalents: list[tuple[str, str]] = []
     todo = [(m, False) for m in chosen] + [(g, True) for g in run_goldens]
     for i, (m, is_golden) in enumerate(todo, start=1):
         key = cache_key(repo, m)
@@ -772,6 +870,15 @@ def main(argv: list[str]) -> int:
             r = pipe.run_mutant(m)
             cache[key] = r
             save_cache(cache_path, cache)
+        # Ledger relabeling happens after the cache so cached verdicts stay
+        # raw: a surviving mutant with a reviewed equivalence rationale is
+        # excluded from the score; a KILLED one means the entry went stale.
+        if not is_golden and m.mid in equivalents:
+            if r["status"] == "survived":
+                r["status"] = "equivalent"
+                r["equivalence_rationale"] = equivalents[m.mid]
+            elif r["status"] == "killed":
+                stale_equivalents.append((m.mid, r.get("killer", "")))
         (golden_results if is_golden else results).append(r)
         tag = "CACHED " if reuse else ""
         print(f"[mutate]   {tag}{r['status']}"
@@ -807,9 +914,17 @@ def main(argv: list[str]) -> int:
     print(f"[mutate] report -> {report_path}")
     print(f"[mutate] generated {report['generated']} points; executed "
           f"{report['executed']}: {report['killed']} killed, "
-          f"{report['survived']} survived, {report['stillborn']} stillborn "
+          f"{report['survived']} survived, "
+          f"{report['equivalent']} reviewed-equivalent, "
+          f"{report['stillborn']} stillborn "
           f"-> score {report['score']:.1%}")
 
+    if stale_equivalents:
+        for mid, killer in stale_equivalents:
+            print(f"[mutate] FAIL: recorded equivalent {mid} was KILLED "
+                  f"({killer}) — remove its stale ledger entry from "
+                  f"{baseline_path}", file=sys.stderr)
+        return 1
     if not golden_ok and not args.no_goldens:
         print("[mutate] FAIL: a golden mutant was not killed at stage <= 2",
               file=sys.stderr)

@@ -129,6 +129,86 @@ class CacheKey(unittest.TestCase):
             self.assertIn(f"v{cm.PIPELINE_VERSION}:", cm.cache_key(tmp, m))
 
 
+class EquivalentsLedger(unittest.TestCase):
+    def mutant(self, mid: str) -> cm.Mutant:
+        rel, line, op, _ = mid.rsplit(":", 3)
+        return cm.Mutant(mid, rel, int(line), op, "a < b", "a <= b", "flip")
+
+    def test_stable_key_drops_only_the_line(self):
+        self.assertEqual(
+            cm.stable_key("src/core/f.cc:42:relop:0-deadbeef"),
+            "src/core/f.cc:relop:0-deadbeef")
+        # Golden ids carry no position and pass through untouched.
+        self.assertEqual(cm.stable_key("golden-dup-suppress"),
+                         "golden-dup-suppress")
+
+    def test_rationale_is_mandatory(self):
+        with self.assertRaises(ValueError):
+            cm.load_equivalents(
+                {"equivalents": [{"key": "src/core/f.cc:relop:0-aa",
+                                  "rationale": "  "}]})
+        got = cm.load_equivalents(
+            {"equivalents": [{"key": "k", "rationale": "dead code"}]})
+        self.assertEqual(got, {"k": "dead code"})
+
+    def test_stable_key_resolves_to_current_line(self):
+        pop = [self.mutant("src/core/f.cc:99:relop:0-deadbeef")]
+        resolved = cm.resolve_equivalents(
+            {"src/core/f.cc:relop:0-deadbeef": "why"}, pop)
+        self.assertEqual(resolved,
+                         {"src/core/f.cc:99:relop:0-deadbeef": "why"})
+
+    def test_textual_twins_refuse_line_free_keys(self):
+        # Two lines with identical text mutate identically apart from the
+        # line number; a line-free key cannot distinguish the reviewed-
+        # equivalent one from its possibly-buggy twin.
+        pop = [self.mutant("src/core/f.cc:10:relop:0-deadbeef"),
+               self.mutant("src/core/f.cc:20:relop:0-deadbeef")]
+        with self.assertRaises(ValueError):
+            cm.resolve_equivalents(
+                {"src/core/f.cc:relop:0-deadbeef": "why"}, pop)
+        # Pinning the exact id disambiguates.
+        resolved = cm.resolve_equivalents(
+            {"src/core/f.cc:10:relop:0-deadbeef": "why"}, pop)
+        self.assertEqual(list(resolved), ["src/core/f.cc:10:relop:0-deadbeef"])
+
+    def test_unmatched_keys_are_inert(self):
+        pop = [self.mutant("src/core/f.cc:10:relop:0-deadbeef")]
+        self.assertEqual(
+            cm.resolve_equivalents({"src/gone/g.cc:relop:0-bb": "why"}, pop),
+            {})
+
+    def test_equivalents_excluded_from_score(self):
+        def res(status: str, op: str = "relop") -> dict:
+            return {"status": status, "file": "src/core/f.cc", "op": op,
+                    "stage": 1, "id": "src/core/f.cc:1:%s:0-aa" % op,
+                    "line": 1, "description": "d", "diff": "",
+                    "nearest_oracle": "o"}
+        results = [res("killed"), res("survived"),
+                   res("equivalent"), res("equivalent", op="const")]
+        report = cm.summarize(results, generated=4, config={})
+        self.assertEqual(report["killed"], 1)
+        self.assertEqual(report["survived"], 1)
+        self.assertEqual(report["equivalent"], 2)
+        self.assertAlmostEqual(report["score"], 0.5)
+
+    def test_repo_ledger_loads_and_resolves(self):
+        # The committed baseline must always parse, carry rationales, and
+        # (textual twins aside) stay unambiguous against the live tree.
+        import json
+        repo = cm.repo_root()
+        with open(os.path.join(repo, "tools", "mutate",
+                               "MUTATION_BASELINE.json")) as f:
+            baseline = json.load(f)
+        equivalents = cm.load_equivalents(baseline)
+        self.assertGreater(len(equivalents), 0)
+        resolved = cm.resolve_equivalents(equivalents,
+                                          cm.scan_tree(repo))
+        self.assertEqual(len(resolved), len(equivalents),
+                         "a ledger key no longer matches any mutant -- "
+                         "prune it or fix the key")
+
+
 class Goldens(unittest.TestCase):
     def test_goldens_resolve_against_the_real_tree(self):
         repo = cm.repo_root()
